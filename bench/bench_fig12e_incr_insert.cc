@@ -1,0 +1,55 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Fig. 12(e): incRCM vs compressR under growing batches of edge
+// *insertions* on socEpinions (paper: 12K-edge increments on 509K edges —
+// i.e. ~2.4% steps; incRCM wins until insertions reach ~20% of |E|).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "gen/random_models.h"
+#include "gen/update_gen.h"
+#include "inc/inc_rcm.h"
+#include "reach/compress_r.h"
+
+using namespace qpgc;
+
+int main() {
+  bench::Banner("Fig. 12(e) — incRCM vs compressR (insertions)",
+                "Fan et al., SIGMOD 2012, Fig. 12(e); crossover ~20% churn");
+  // Full-scale socEpinions stand-in (the paper uses the 76K/509K graph;
+  // Table 1 uses a scaled copy, but the incremental-vs-batch crossover only
+  // shows at real size, where compressR costs hundreds of milliseconds).
+  const Graph base = PreferentialAttachment(76000, 4, 0.45, 7);
+  const size_t step = base.num_edges() * 24 / 1000;  // ~2.4% per step
+
+  std::printf("%-10s %10s | %12s %12s | %10s %10s\n", "Δ|E|", "Δ/|E|",
+              "incRCM", "compressR", "dissolved", "hybrid|V|");
+  bench::Rule();
+  for (int steps = 1; steps <= 9; ++steps) {
+    // Fresh start each round, as in the paper's per-point measurements.
+    Graph g = base;
+    ReachCompression rc = CompressR(g);
+    const UpdateBatch batch =
+        RandomInsertions(g, step * steps, 1000 + steps);
+    const UpdateBatch effective = ApplyBatch(g, batch);
+
+    IncRcmStats stats;
+    const double t_inc =
+        bench::TimeOnce([&] { stats = IncRCM(g, effective, rc); });
+    const double t_batch = bench::TimeOnce([&] { CompressR(g); });
+
+    std::printf("%-10zu %10s | %12s %12s | %10zu %10zu %s\n", batch.size(),
+                bench::Pct(static_cast<double>(batch.size()) /
+                           static_cast<double>(base.num_edges()))
+                    .c_str(),
+                bench::Secs(t_inc).c_str(), bench::Secs(t_batch).c_str(),
+                stats.dissolved_classes, stats.hybrid_vertices,
+                t_inc < t_batch ? "  <- incRCM wins" : "");
+  }
+  bench::Rule();
+  std::printf("expected shape: incRCM beats compressR for small batches; "
+              "advantage shrinks as the\nbatch approaches ~20%% of |E| "
+              "(paper's crossover).\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Fig. 12(g): incPCM vs the single-update baseline IncBsim [30] vs
+// recompression (compressB) under growing *mixed* batches on Youtube
+// (paper: 0.8K-update increments; incPCM beats compressB up to ~5K updates
+// and always beats IncBsim, thanks to minDelta batch reduction).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/pattern_scheme.h"
+#include "gen/dataset_catalog.h"
+#include "gen/update_gen.h"
+#include "inc/inc_bsim.h"
+#include "inc/inc_pcm.h"
+
+using namespace qpgc;
+
+int main() {
+  bench::Banner("Fig. 12(g) — incPCM vs IncBsim vs compressB (mixed updates)",
+                "Fan et al., SIGMOD 2012, Fig. 12(g)");
+  const Graph base = MakeDataset(FindPatternDataset("Youtube"));
+  const size_t step = 80;  // paper 0.8K on a 10x larger graph
+
+  std::printf("%-8s | %12s %12s %12s | %9s\n", "Δ|E|", "incPCM", "IncBsim",
+              "compressB", "minDelta");
+  bench::Rule();
+  for (int steps = 1; steps <= 7; ++steps) {
+    const UpdateBatch batch =
+        RandomMixed(base, step * steps, 0.5, 3000 + steps);
+
+    // incPCM: one batch.
+    Graph g1 = base;
+    PatternCompression pc1 = CompressB(g1);
+    IncPcmStats stats;
+    double t_inc = 0;
+    {
+      const UpdateBatch effective = ApplyBatch(g1, batch);
+      t_inc = bench::TimeOnce([&] { stats = IncPCM(g1, effective, pc1); });
+    }
+
+    // IncBsim: one update at a time.
+    Graph g2 = base;
+    PatternCompression pc2 = CompressB(g2);
+    const double t_bsim = bench::TimeOnce([&] { IncBsim(g2, batch, pc2); });
+
+    // compressB from scratch on the updated graph.
+    const double t_batch = bench::TimeOnce([&] { CompressB(g1); });
+
+    std::printf("%-8zu | %12s %12s %12s | %9zu\n", batch.size(),
+                bench::Secs(t_inc).c_str(), bench::Secs(t_bsim).c_str(),
+                bench::Secs(t_batch).c_str(), stats.reduced_updates);
+  }
+  bench::Rule();
+  std::printf("expected shape: incPCM beats IncBsim by orders of magnitude "
+              "(batching + minDelta\namortize the affected-area recomputation "
+              "across the whole batch). Against\ncompressB our "
+              "exactness-first block-granular cones reach parity rather than\n"
+              "the paper's small-batch win; see EXPERIMENTS.md for the "
+              "deviation note.\n");
+  return 0;
+}

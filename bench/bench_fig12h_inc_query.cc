@@ -1,0 +1,71 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Fig. 12(h): two ways to keep a pattern answer fresh on an evolving
+// Citation graph — (1) IncBMatch maintains the match on G directly;
+// (2) incPCM maintains Gr and Match re-runs on the compressed graph. The
+// paper finds a crossover: beyond ~8K updates (on 630K nodes), updating and
+// querying the compressed graph is cheaper.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/pattern_scheme.h"
+#include "gen/dataset_catalog.h"
+#include "gen/update_gen.h"
+#include "inc/inc_pcm.h"
+#include "pattern/inc_match.h"
+#include "pattern/pattern_gen.h"
+
+using namespace qpgc;
+
+int main() {
+  bench::Banner("Fig. 12(h) — incremental querying: IncBMatch vs incPCM+Match",
+                "Fan et al., SIGMOD 2012, Fig. 12(h); paper crossover ~8K "
+                "updates");
+  const Graph base = MakeDataset(FindPatternDataset("Citation"));
+  PatternGenOptions options;
+  options.num_nodes = 4;
+  options.num_edges = 4;
+  options.max_bound = 2;
+  const PatternQuery q = RandomPattern(DistinctLabels(base), options, 5);
+  const size_t step = 200;  // paper 2K on a 10x larger graph
+
+  std::printf("%-8s | %14s %16s\n", "Δ|E|", "IncBMatch(G)", "incPCM+Match(Gr)");
+  bench::Rule();
+  for (int steps = 1; steps <= 7; ++steps) {
+    const UpdateBatch batch =
+        RandomMixed(base, step * steps, 0.5, 4000 + steps);
+
+    // Approach 1: maintain the match on G.
+    Graph g1 = base;
+    IncBMatch inc(&g1, q);
+    double t_incmatch;
+    {
+      const UpdateBatch effective = ApplyBatch(g1, batch);
+      t_incmatch = bench::TimeOnce([&] { inc.Update(effective); });
+    }
+
+    // Approach 2: maintain Gr, then query it.
+    Graph g2 = base;
+    PatternCompression pc = CompressB(g2);
+    double t_compressed;
+    {
+      const UpdateBatch effective = ApplyBatch(g2, batch);
+      t_compressed = bench::TimeOnce([&] {
+        IncPCM(g2, effective, pc);
+        MatchOnCompressed(pc, q);
+      });
+    }
+    std::printf("%-8zu | %14s %16s %s\n", batch.size(),
+                bench::Secs(t_incmatch).c_str(),
+                bench::Secs(t_compressed).c_str(),
+                t_compressed < t_incmatch ? " <- compressed wins" : "");
+  }
+  bench::Rule();
+  std::printf("expected shape: IncBMatch grows with the batch while the "
+              "compressed pipeline\nstays flat. At laptop scale our "
+              "warm-started IncBMatch never exceeds one full\nMatch (a few "
+              "ms), so the paper's crossover needs the full 630K-node "
+              "dataset;\nsee EXPERIMENTS.md.\n");
+  return 0;
+}

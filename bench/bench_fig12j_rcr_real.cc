@@ -1,0 +1,45 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Fig. 12(j): RCr as real-life graphs grow by the power law of [20] (5%
+// edge growth per step, 80% of endpoints drawn by degree), on P2P, wikiVote
+// and citHepTh. Denser graphs compress better for reachability.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "gen/dataset_catalog.h"
+#include "gen/evolution.h"
+#include "reach/compress_r.h"
+
+using namespace qpgc;
+
+int main() {
+  bench::Banner("Fig. 12(j) — RCr under power-law growth (real-life)",
+                "Fan et al., SIGMOD 2012, Fig. 12(j); 5% edge growth, 80% "
+                "preferential");
+  const char* datasets[] = {"P2P", "wikiVote", "citHepTh"};
+  std::printf("%-8s | %10s %10s %10s\n", "Δ|E|%", datasets[0], datasets[1],
+              datasets[2]);
+  bench::Rule();
+
+  Graph graphs[3] = {MakeDataset(FindDataset(datasets[0])),
+                     MakeDataset(FindDataset(datasets[1])),
+                     MakeDataset(FindDataset(datasets[2]))};
+  for (int step = 0; step <= 9; ++step) {
+    double ratios[3];
+    for (int d = 0; d < 3; ++d) {
+      if (step > 0) {
+        PowerLawGrowthStep(graphs[d], 0.05, 0.8, 700 + step * 3 + d);
+      }
+      ratios[d] = CompressR(graphs[d]).CompressionRatio();
+    }
+    std::printf("%-8d | %10s %10s %10s\n", step * 5,
+                bench::Pct(ratios[0]).c_str(), bench::Pct(ratios[1]).c_str(),
+                bench::Pct(ratios[2]).c_str());
+  }
+  bench::Rule();
+  std::printf("expected shape: RCr drifts down as preferential edges "
+              "accumulate (more equivalent\nnodes), mirroring the paper's "
+              "downward curves.\n");
+  return 0;
+}

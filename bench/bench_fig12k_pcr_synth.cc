@@ -1,0 +1,46 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Fig. 12(k): PCr over densifying synthetic graphs with |L| = 10 — the
+// paper finds PCr roughly flat (36-50% band): bisimulation block structure
+// is not very sensitive to uniform growth.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/pattern_scheme.h"
+#include "gen/evolution.h"
+
+using namespace qpgc;
+
+int main() {
+  bench::Banner("Fig. 12(k) — PCr under densification (synthetic, |L| = 10)",
+                "Fan et al., SIGMOD 2012, Fig. 12(k)");
+  std::printf("%-10s | %10s %10s %8s | %10s %10s %8s\n", "iteration",
+              "|V|a=1.05", "|E|", "PCr", "|V|a=1.10", "|E|", "PCr");
+  bench::Rule();
+  const size_t v0 = 10000;
+  for (int iter = 0; iter < 10; ++iter) {
+    size_t v105 = 0, e105 = 0, v110 = 0, e110 = 0;
+    double r105 = 0, r110 = 0;
+    {
+      const Graph g = DensifiedGraph(v0, 1.05, 1.2, 10, iter, 800);
+      r105 = CompressB(g).CompressionRatio();
+      v105 = g.num_nodes();
+      e105 = g.num_edges();
+    }
+    {
+      const Graph g = DensifiedGraph(v0, 1.10, 1.2, 10, iter, 900);
+      r110 = CompressB(g).CompressionRatio();
+      v110 = g.num_nodes();
+      e110 = g.num_edges();
+    }
+    std::printf("%-10d | %10zu %10zu %8s | %10zu %10zu %8s\n", iter, v105,
+                e105, bench::Pct(r105).c_str(), v110, e110,
+                bench::Pct(r110).c_str());
+  }
+  bench::Rule();
+  std::printf("expected shape: PCr stays in a narrow band across iterations "
+              "(paper: 36-50%%),\nin contrast to the steadily improving "
+              "RCr of Fig. 12(i).\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Fig. 12(l): PCr as real-life labeled graphs grow (California, Internet,
+// Youtube). The paper: PCr *increases* with insertions (new edges diversify
+// neighborhoods, breaking bisimilarity), and web graphs are more sensitive
+// than social networks.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/pattern_scheme.h"
+#include "gen/dataset_catalog.h"
+#include "gen/evolution.h"
+
+using namespace qpgc;
+
+int main() {
+  bench::Banner("Fig. 12(l) — PCr under power-law growth (real-life)",
+                "Fan et al., SIGMOD 2012, Fig. 12(l)");
+  const char* datasets[] = {"California", "Internet", "Youtube"};
+  std::printf("%-8s | %12s %12s %12s\n", "Δ|E|%", datasets[0], datasets[1],
+              datasets[2]);
+  bench::Rule();
+
+  Graph graphs[3] = {MakeDataset(FindPatternDataset(datasets[0])),
+                     MakeDataset(FindPatternDataset(datasets[1])),
+                     MakeDataset(FindPatternDataset(datasets[2]))};
+  for (int step = 0; step <= 9; ++step) {
+    double ratios[3];
+    for (int d = 0; d < 3; ++d) {
+      if (step > 0) {
+        PowerLawGrowthStep(graphs[d], 0.05, 0.8, 1100 + step * 3 + d);
+      }
+      ratios[d] = CompressB(graphs[d]).CompressionRatio();
+    }
+    std::printf("%-8d | %12s %12s %12s\n", step * 5,
+                bench::Pct(ratios[0]).c_str(), bench::Pct(ratios[1]).c_str(),
+                bench::Pct(ratios[2]).c_str());
+  }
+  bench::Rule();
+  std::printf("expected shape: PCr creeps upward with growth (bisimilarity "
+              "breaks as neighborhoods\ndiversify); the social network "
+              "(Youtube) moves least — its high connectivity makes\nmany "
+              "insertions redundant.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "bisim/kbisim.h"
+
+#include "bisim/signature_bisim.h"
+#include "graph/builder.h"
+
+namespace qpgc {
+
+Partition KBisimulation(const Graph& g, size_t k) {
+  Partition p = LabelPartition(g);
+  for (size_t i = 0; i < k; ++i) {
+    if (!RefineOnce(g, p)) break;
+  }
+  p.Normalize();
+  return p;
+}
+
+Partition KBisimulationBackward(const Graph& g, size_t k) {
+  Graph reversed = g;
+  reversed.Reverse();
+  Partition p = LabelPartition(reversed);
+  for (size_t i = 0; i < k; ++i) {
+    if (!RefineOnce(reversed, p)) break;
+  }
+  p.Normalize();
+  return p;
+}
+
+Graph QuotientGraph(const Graph& g, const Partition& p) {
+  GraphBuilder builder(p.num_blocks);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    builder.SetLabel(p.block_of[v], g.label(v));
+  }
+  g.ForEachEdge([&](NodeId u, NodeId v) {
+    builder.AddEdge(p.block_of[u], p.block_of[v]);
+  });
+  return builder.Build();
+}
+
+Graph AkIndexGraph(const Graph& g, size_t k) {
+  return QuotientGraph(g, KBisimulationBackward(g, k));
+}
+
+}  // namespace qpgc

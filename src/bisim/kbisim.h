@@ -1,0 +1,41 @@
+// Copyright 2026 The QPGC Authors.
+//
+// k-bisimulation, in both orientations:
+//  * forward (out-edges): k rounds of the successor-signature refinement —
+//    the truncation of the maximum bisimulation compressB uses;
+//  * backward (in-edges): the equivalence underlying the 1-index of Milo &
+//    Suciu [19] and the A(k)-index of Kaushik et al. [15], which group
+//    nodes by incoming label paths (those indexes serve rooted path
+//    queries).
+//
+// The paper uses A(k) as a *negative* baseline: Section 4.1's Fig. 6 shows
+// a graph whose A(1) index graph returns every B node for the pattern
+// {(B,C), (B,D)} although only two match; reproduced in
+// tests/kbisim_counterexample_test.cc.
+
+#ifndef QPGC_BISIM_KBISIM_H_
+#define QPGC_BISIM_KBISIM_H_
+
+#include "bisim/partition.h"
+#include "graph/graph.h"
+
+namespace qpgc {
+
+/// Forward k-bisimulation partition (k = 0 is the label partition).
+Partition KBisimulation(const Graph& g, size_t k);
+
+/// Backward k-bisimulation partition (equal incoming structure up to depth
+/// k), the A(k)-index equivalence.
+Partition KBisimulationBackward(const Graph& g, size_t k);
+
+/// The A(k)-index graph: quotient of g by *backward* k-bisimulation, keeping
+/// labels. For comparison only — not query preserving for graph patterns.
+Graph AkIndexGraph(const Graph& g, size_t k);
+
+/// Quotient of g by an arbitrary partition, keeping labels (index-graph
+/// construction helper).
+Graph QuotientGraph(const Graph& g, const Partition& p);
+
+}  // namespace qpgc
+
+#endif  // QPGC_BISIM_KBISIM_H_

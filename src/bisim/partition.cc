@@ -1,0 +1,81 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "bisim/partition.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/hash.h"
+
+namespace qpgc {
+
+std::vector<std::vector<NodeId>> Partition::Members() const {
+  std::vector<std::vector<NodeId>> members(num_blocks);
+  for (NodeId v = 0; v < block_of.size(); ++v) {
+    QPGC_DCHECK(block_of[v] < num_blocks);
+    members[block_of[v]].push_back(v);
+  }
+  return members;
+}
+
+std::vector<std::vector<NodeId>> Partition::CanonicalClasses() const {
+  std::vector<std::vector<NodeId>> classes = Members();
+  std::sort(classes.begin(), classes.end());
+  return classes;
+}
+
+void Partition::Normalize() {
+  std::vector<NodeId> remap(num_blocks, kInvalidNode);
+  NodeId next = 0;
+  for (NodeId& b : block_of) {
+    if (remap[b] == kInvalidNode) remap[b] = next++;
+    b = remap[b];
+  }
+  num_blocks = next;
+}
+
+bool IsStableBisimulationPartition(const Graph& g, const Partition& p) {
+  const auto members = p.Members();
+  // Label uniformity.
+  for (const auto& block : members) {
+    for (size_t i = 1; i < block.size(); ++i) {
+      if (g.label(block[i]) != g.label(block[0])) return false;
+    }
+  }
+  // Stability: members of one block must have identical successor-block
+  // *sets*.
+  for (const auto& block : members) {
+    std::unordered_set<NodeId> expected;
+    for (size_t i = 0; i < block.size(); ++i) {
+      std::unordered_set<NodeId> got;
+      for (NodeId w : g.OutNeighbors(block[i])) got.insert(p.block_of[w]);
+      if (i == 0) {
+        expected = std::move(got);
+      } else if (got != expected) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool SamePartition(const Partition& a, const Partition& b) {
+  if (a.block_of.size() != b.block_of.size()) return false;
+  return a.CanonicalClasses() == b.CanonicalClasses();
+}
+
+bool Refines(const Partition& fine, const Partition& coarse) {
+  if (fine.block_of.size() != coarse.block_of.size()) return false;
+  std::vector<NodeId> image(fine.num_blocks, kInvalidNode);
+  for (NodeId v = 0; v < fine.block_of.size(); ++v) {
+    NodeId& img = image[fine.block_of[v]];
+    if (img == kInvalidNode) {
+      img = coarse.block_of[v];
+    } else if (img != coarse.block_of[v]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace qpgc

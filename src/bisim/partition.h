@@ -1,0 +1,51 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Partition representation shared by the bisimulation algorithms. A block is
+// a set of nodes; bisimulation computation refines a label-based initial
+// partition down to the coarsest *stable* partition, which is the maximum
+// bisimulation Rb of Lemma 5.
+
+#ifndef QPGC_BISIM_PARTITION_H_
+#define QPGC_BISIM_PARTITION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace qpgc {
+
+/// A partition of the node set into blocks (equivalence classes).
+struct Partition {
+  /// block_of[v] = block id of node v, dense 0-based.
+  std::vector<NodeId> block_of;
+  /// Number of blocks.
+  size_t num_blocks = 0;
+
+  /// Rebuilds block member lists from block_of.
+  std::vector<std::vector<NodeId>> Members() const;
+
+  /// Canonical form (blocks as sorted vectors, sorted by first member) for
+  /// equality tests.
+  std::vector<std::vector<NodeId>> CanonicalClasses() const;
+
+  /// Renumbers blocks densely in order of first appearance (by node id).
+  void Normalize();
+};
+
+/// True iff `p` is a *stable* partition of g that refines node labels:
+/// same-block nodes have equal labels, and for every block pair (B, C),
+/// either every member of B has a successor in C or none does. The maximum
+/// bisimulation is the coarsest such partition.
+bool IsStableBisimulationPartition(const Graph& g, const Partition& p);
+
+/// True iff partition `a` equals partition `b` as set partitions.
+bool SamePartition(const Partition& a, const Partition& b);
+
+/// True iff `coarse` is coarsened-or-equal: every `fine` block is contained
+/// in one `coarse` block.
+bool Refines(const Partition& fine, const Partition& coarse);
+
+}  // namespace qpgc
+
+#endif  // QPGC_BISIM_PARTITION_H_

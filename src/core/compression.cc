@@ -1,0 +1,5 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "core/compression.h"
+
+namespace qpgc {}  // namespace qpgc

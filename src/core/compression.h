@@ -1,0 +1,46 @@
+// Copyright 2026 The QPGC Authors.
+//
+// The query preserving compression framework of Section 2.2. For a query
+// class Q, a compression is a triple <R, F, P>:
+//
+//   R : Graph -> Graph          (compression;  Gr = R(G), |Gr| <= |G|)
+//   F : Q -> Q                  (query rewriting;  Q' = F(Q))
+//   P : answers -> answers      (post-processing;  Q(G) = P(Q'(Gr)))
+//
+// with the defining property that *any* algorithm evaluating Q-queries runs
+// on Gr unchanged. The two instantiations live in reach_scheme.h
+// (reachability; P not needed, Theorem 2) and pattern_scheme.h (bounded
+// simulation; P expands hypernodes, Theorem 4).
+//
+// This header carries the shared reporting vocabulary.
+
+#ifndef QPGC_CORE_COMPRESSION_H_
+#define QPGC_CORE_COMPRESSION_H_
+
+#include <cstddef>
+#include <string>
+
+namespace qpgc {
+
+/// A compression measurement for one graph (used by the Table 1/2 benches).
+struct CompressionReport {
+  std::string dataset;
+  size_t original_nodes = 0;
+  size_t original_edges = 0;
+  size_t compressed_nodes = 0;
+  size_t compressed_edges = 0;
+  double seconds = 0.0;
+
+  size_t original_size() const { return original_nodes + original_edges; }
+  size_t compressed_size() const { return compressed_nodes + compressed_edges; }
+  /// The paper's compression ratio |Gr| / |G| (smaller is better).
+  double ratio() const {
+    return original_size() == 0 ? 1.0
+                                : static_cast<double>(compressed_size()) /
+                                      static_cast<double>(original_size());
+  }
+};
+
+}  // namespace qpgc
+
+#endif  // QPGC_CORE_COMPRESSION_H_

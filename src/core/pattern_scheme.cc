@@ -1,0 +1,89 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "core/pattern_scheme.h"
+
+#include <algorithm>
+
+#include "bisim/ranked_bisim.h"
+#include "util/bitset.h"
+#include "bisim/signature_bisim.h"
+#include "graph/builder.h"
+#include "util/memory.h"
+
+namespace qpgc {
+
+PatternCompression CompressBFromPartition(const Graph& g, const Partition& p) {
+  PatternCompression pc;
+  pc.original_num_nodes = g.num_nodes();
+  pc.original_size = g.size();
+  pc.node_map = p.block_of;
+  pc.members.assign(p.num_blocks, {});
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    pc.members[p.block_of[v]].push_back(v);
+  }
+
+  GraphBuilder builder(p.num_blocks);
+  for (NodeId c = 0; c < p.num_blocks; ++c) {
+    QPGC_CHECK(!pc.members[c].empty());
+    builder.SetLabel(static_cast<NodeId>(c), g.label(pc.members[c][0]));
+  }
+  g.ForEachEdge([&](NodeId u, NodeId v) {
+    builder.AddEdge(p.block_of[u], p.block_of[v]);
+  });
+  pc.gr = builder.Build();
+  return pc;
+}
+
+PatternCompression CompressB(const Graph& g, const CompressBOptions& options) {
+  const Partition p = options.algorithm == CompressBOptions::Algorithm::kRanked
+                          ? RankedBisimulation(g)
+                          : SignatureBisimulation(g);
+  return CompressBFromPartition(g, p);
+}
+
+MatchResult ExpandMatch(const PatternCompression& pc, const MatchResult& on_gr) {
+  MatchResult expanded;
+  expanded.matched = on_gr.matched;
+  // P is linear in the answer (Theorem 4): expand the answer sets only. The
+  // fixpoint sets stay at block granularity (they are an evaluation-internal
+  // artifact; copy them through for callers that want the raw fixpoint).
+  expanded.fixpoint_sets = on_gr.fixpoint_sets;
+  expanded.match_sets.resize(on_gr.match_sets.size());
+  // Member lists are disjoint sorted runs; a block-id mask plus one pass
+  // over the node map emits each answer set in ascending order without a
+  // comparison sort.
+  Bitset block_mask(pc.members.size());
+  for (size_t u = 0; u < on_gr.match_sets.size(); ++u) {
+    size_t total = 0;
+    for (NodeId block : on_gr.match_sets[u]) {
+      QPGC_CHECK(block < pc.members.size());
+      block_mask.Set(block);
+      total += pc.members[block].size();
+    }
+    auto& out = expanded.match_sets[u];
+    out.reserve(total);
+    if (total > 0) {
+      for (NodeId v = 0; v < pc.node_map.size(); ++v) {
+        if (block_mask.Test(pc.node_map[v])) out.push_back(v);
+      }
+    }
+    for (NodeId block : on_gr.match_sets[u]) block_mask.Clear(block);
+  }
+  return expanded;
+}
+
+MatchResult MatchOnCompressed(const PatternCompression& pc,
+                              const PatternQuery& q) {
+  return ExpandMatch(pc, Match(pc.gr, q));
+}
+
+bool BooleanMatchOnCompressed(const PatternCompression& pc,
+                              const PatternQuery& q) {
+  return BooleanMatch(pc.gr, q);
+}
+
+size_t PatternCompression::MemoryBytes() const {
+  return gr.MemoryBytes() + VectorBytes(node_map) + NestedVectorBytes(members);
+}
+
+}  // namespace qpgc

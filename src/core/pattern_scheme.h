@@ -1,0 +1,76 @@
+// Copyright 2026 The QPGC Authors.
+//
+// compressB (Section 4): graph pattern preserving compression <R, F, P>.
+//   R — quotient of G by the maximum bisimulation Rb (labels preserved; all
+//       quotient edges kept — the quotient is *stable*: every member of a
+//       block has a successor in each successor block).
+//   F — the identity: the same pattern query runs on Gr.
+//   P — hypernode expansion: replace each [v] in the match by its members,
+//       linear in the answer size. Boolean queries need no P.
+// Theorem 4: Qp(G) = P(Qp(Gr)) for every bounded-simulation pattern.
+
+#ifndef QPGC_CORE_PATTERN_SCHEME_H_
+#define QPGC_CORE_PATTERN_SCHEME_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "bisim/partition.h"
+#include "graph/graph.h"
+#include "pattern/match.h"
+#include "pattern/pattern.h"
+
+namespace qpgc {
+
+/// Options for compressB.
+struct CompressBOptions {
+  /// Which maximum-bisimulation algorithm computes the partition.
+  enum class Algorithm { kRanked, kSignature };
+  Algorithm algorithm = Algorithm::kRanked;
+};
+
+/// The pattern preserving compression artifact.
+struct PatternCompression {
+  /// The compressed graph Gr: quotient by Rb, labels preserved.
+  Graph gr;
+  /// node_map[v] = R(v), the Gr-node (bisimulation block) of node v.
+  std::vector<NodeId> node_map;
+  /// members[c] = original nodes of block c (the inverse index P uses).
+  std::vector<std::vector<NodeId>> members;
+  /// |V| and |G| of the original, for ratio reporting.
+  size_t original_num_nodes = 0;
+  size_t original_size = 0;
+
+  size_t size() const { return gr.size(); }
+  /// PCr = |Gr| / |G|.
+  double CompressionRatio() const {
+    return original_size == 0 ? 1.0
+                              : static_cast<double>(size()) /
+                                    static_cast<double>(original_size);
+  }
+  size_t MemoryBytes() const;
+};
+
+/// Computes Gr = R(G) via the maximum bisimulation.
+PatternCompression CompressB(const Graph& g, const CompressBOptions& options = {});
+
+/// Builds the compression from a precomputed bisimulation partition (used by
+/// the incremental algorithm and tests).
+PatternCompression CompressBFromPartition(const Graph& g, const Partition& p);
+
+/// The post-processing function P: expands every block in a match over Gr
+/// into its member nodes. O(|Qp(G)|).
+MatchResult ExpandMatch(const PatternCompression& pc, const MatchResult& on_gr);
+
+/// Convenience: evaluate a pattern on the compressed graph (F = identity,
+/// then Match on Gr, then P).
+MatchResult MatchOnCompressed(const PatternCompression& pc,
+                              const PatternQuery& q);
+
+/// Boolean pattern query on the compressed graph — no P needed.
+bool BooleanMatchOnCompressed(const PatternCompression& pc,
+                              const PatternQuery& q);
+
+}  // namespace qpgc
+
+#endif  // QPGC_CORE_PATTERN_SCHEME_H_

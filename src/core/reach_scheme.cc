@@ -1,0 +1,5 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "core/reach_scheme.h"
+
+namespace qpgc {}  // namespace qpgc

@@ -1,0 +1,153 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "core/serialization.h"
+
+#include <fstream>
+
+namespace qpgc {
+
+namespace {
+
+constexpr char kReachMagic[] = "qpgc-reach-v2";
+constexpr char kPatternMagic[] = "qpgc-pattern-v1";
+
+void WriteGraphEdges(std::ostream& out, const Graph& g) {
+  out << g.num_edges() << "\n";
+  g.ForEachEdge([&](NodeId u, NodeId v) { out << u << ' ' << v << "\n"; });
+}
+
+// Reads `count` whitespace-separated integers into out.
+template <typename T>
+bool ReadInts(std::istream& in, size_t count, std::vector<T>& out) {
+  out.resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    long long x;
+    if (!(in >> x)) return false;
+    out[i] = static_cast<T>(x);
+  }
+  return true;
+}
+
+bool ReadGraphEdges(std::istream& in, Graph& g) {
+  size_t edges;
+  if (!(in >> edges)) return false;
+  for (size_t i = 0; i < edges; ++i) {
+    NodeId u, v;
+    if (!(in >> u >> v)) return false;
+    if (u >= g.num_nodes() || v >= g.num_nodes()) return false;
+    if (!g.AddEdge(u, v)) return false;
+  }
+  return true;
+}
+
+template <typename T>
+void WriteLine(std::ostream& out, const std::vector<T>& v) {
+  for (size_t i = 0; i < v.size(); ++i) {
+    out << (i ? " " : "") << static_cast<long long>(v[i]);
+  }
+  out << "\n";
+}
+
+std::vector<std::vector<NodeId>> MembersFromNodeMap(
+    const std::vector<NodeId>& node_map, size_t num_classes) {
+  std::vector<std::vector<NodeId>> members(num_classes);
+  for (NodeId v = 0; v < node_map.size(); ++v) {
+    members[node_map[v]].push_back(v);
+  }
+  return members;
+}
+
+}  // namespace
+
+Status SaveReachCompression(const ReachCompression& rc,
+                            const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << kReachMagic << "\n";
+  out << rc.gr.num_nodes() << ' ' << rc.node_map.size() << ' '
+      << rc.original_size << "\n";
+  WriteGraphEdges(out, rc.gr);
+  WriteGraphEdges(out, rc.quotient);
+  WriteLine(out, rc.node_map);
+  WriteLine(out, rc.cyclic);
+  WriteLine(out, rc.ranks);
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<ReachCompression> LoadReachCompression(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::string magic;
+  if (!(in >> magic) || magic != kReachMagic) {
+    return Status::CorruptData(path + ": bad magic");
+  }
+  size_t num_classes, num_nodes, original_size;
+  if (!(in >> num_classes >> num_nodes >> original_size)) {
+    return Status::CorruptData(path + ": bad header");
+  }
+  ReachCompression rc;
+  rc.gr = Graph(num_classes);
+  rc.quotient = Graph(num_classes);
+  rc.original_num_nodes = num_nodes;
+  rc.original_size = original_size;
+  if (!ReadGraphEdges(in, rc.gr) || !ReadGraphEdges(in, rc.quotient) ||
+      !ReadInts(in, num_nodes, rc.node_map) ||
+      !ReadInts(in, num_classes, rc.cyclic) ||
+      !ReadInts(in, num_classes, rc.ranks)) {
+    return Status::CorruptData(path + ": truncated artifact");
+  }
+  for (NodeId c : rc.node_map) {
+    if (c >= num_classes) {
+      return Status::CorruptData(path + ": node map out of range");
+    }
+  }
+  rc.members = MembersFromNodeMap(rc.node_map, num_classes);
+  return rc;
+}
+
+Status SavePatternCompression(const PatternCompression& pc,
+                              const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << kPatternMagic << "\n";
+  out << pc.gr.num_nodes() << ' ' << pc.node_map.size() << ' '
+      << pc.original_size << "\n";
+  WriteGraphEdges(out, pc.gr);
+  WriteLine(out, pc.gr.labels());
+  WriteLine(out, pc.node_map);
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<PatternCompression> LoadPatternCompression(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::string magic;
+  if (!(in >> magic) || magic != kPatternMagic) {
+    return Status::CorruptData(path + ": bad magic");
+  }
+  size_t num_blocks, num_nodes, original_size;
+  if (!(in >> num_blocks >> num_nodes >> original_size)) {
+    return Status::CorruptData(path + ": bad header");
+  }
+  PatternCompression pc;
+  pc.gr = Graph(num_blocks);
+  pc.original_num_nodes = num_nodes;
+  pc.original_size = original_size;
+  std::vector<Label> labels;
+  if (!ReadGraphEdges(in, pc.gr) || !ReadInts(in, num_blocks, labels) ||
+      !ReadInts(in, num_nodes, pc.node_map)) {
+    return Status::CorruptData(path + ": truncated artifact");
+  }
+  for (NodeId b = 0; b < num_blocks; ++b) pc.gr.set_label(b, labels[b]);
+  for (NodeId b : pc.node_map) {
+    if (b >= num_blocks) {
+      return Status::CorruptData(path + ": node map out of range");
+    }
+  }
+  pc.members = MembersFromNodeMap(pc.node_map, num_blocks);
+  return pc;
+}
+
+}  // namespace qpgc

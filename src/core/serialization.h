@@ -1,0 +1,44 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Persistence for compression artifacts. The whole point of query
+// preserving compression is "compress once, query forever": a deployment
+// compresses offline, ships the artifact, and serves queries from it — so
+// artifacts must round-trip through storage. Plain-text, versioned format:
+//
+//   qpgc-reach-v2                      qpgc-pattern-v1
+//   <num_classes> <num_nodes>          <num_blocks> <num_nodes>
+//   <Gr edge count> + edge lines       <Gr edge count> + edge lines\n//   <quotient edge count> + edges
+//   node_map line (|V| ints)           labels line (one per block)
+//   cyclic line (one per class)        node_map line (|V| ints)
+//   ranks line  (one per class)
+//
+// Member lists are rebuilt from the node map on load.
+
+#ifndef QPGC_CORE_SERIALIZATION_H_
+#define QPGC_CORE_SERIALIZATION_H_
+
+#include <string>
+
+#include "core/pattern_scheme.h"
+#include "reach/compress_r.h"
+#include "util/status.h"
+
+namespace qpgc {
+
+/// Writes a reachability compression artifact.
+Status SaveReachCompression(const ReachCompression& rc,
+                            const std::string& path);
+
+/// Reads a reachability compression artifact.
+Result<ReachCompression> LoadReachCompression(const std::string& path);
+
+/// Writes a pattern compression artifact.
+Status SavePatternCompression(const PatternCompression& pc,
+                              const std::string& path);
+
+/// Reads a pattern compression artifact.
+Result<PatternCompression> LoadPatternCompression(const std::string& path);
+
+}  // namespace qpgc
+
+#endif  // QPGC_CORE_SERIALIZATION_H_

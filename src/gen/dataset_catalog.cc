@@ -1,0 +1,118 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "gen/dataset_catalog.h"
+
+#include "gen/random_models.h"
+#include "gen/uniform.h"
+
+namespace qpgc {
+
+namespace {
+
+// Scaled ~5-20x below the published sizes to stay laptop-friendly; the
+// structural knobs (family, reciprocity, label alphabet) are what drive the
+// compression behaviour the experiments check.
+std::vector<DatasetSpec> BuildReachCatalog() {
+  return {
+      // name        family                |V|   |L| seed struct twin  paperV   paperE    RCr    PCr
+      {"facebook", DatasetFamily::kSocial, 6400, 0, 101, 0.60, 0.10, 64000, 1500000, 0.00028, -1},
+      {"amazon", DatasetFamily::kSocial, 26000, 0, 102, 0.95, 0.30, 262000, 1200000, 0.0018, -1},
+      {"Youtube", DatasetFamily::kSocial, 15500, 0, 103, 0.65, 0.15, 155000, 796000, 0.0177, -1},
+      {"wikiVote", DatasetFamily::kSocial, 7000, 0, 104, 0.35, 0.00, 7000, 104000, 0.0191, -1},
+      {"wikiTalk", DatasetFamily::kSocial, 24000, 0, 105, 0.60, 0.10, 2400000, 5000000, 0.0327, -1},
+      {"socEpinions", DatasetFamily::kSocial, 7600, 0, 106, 0.45, 0.00, 76000, 509000, 0.0288, -1},
+      {"NotreDame", DatasetFamily::kWeb, 16300, 0, 107, 0.25, 0.00, 326000, 1500000, 0.0261, -1},
+      {"P2P", DatasetFamily::kP2P, 6300, 0, 108, 0.65, 0.25, 6000, 21000, 0.0597, -1},
+      {"Internet", DatasetFamily::kInternet, 5200, 0, 109, 0.15, 0.00, 52000, 103000, 0.1608, -1},
+      {"citHepTh", DatasetFamily::kCitation, 2800, 0, 110, 0.50, 0.50, 28000, 353000, 0.1470, -1},
+  };
+}
+
+std::vector<DatasetSpec> BuildPatternCatalog() {
+  return {
+      {"California", DatasetFamily::kWeb, 10000, 95, 201, 0.25, 0.40, 10000, 16000, -1, 0.459},
+      {"Internet", DatasetFamily::kInternet, 5200, 247, 202, 0.25, 0.60, 52000, 103000, -1, 0.298},
+      {"Youtube", DatasetFamily::kSocial, 15500, 16, 203, 0.50, 0.40, 155000, 796000, -1, 0.413},
+      {"Citation", DatasetFamily::kCitation, 12600, 67, 204, 0.50, 0.35, 630000, 633000, -1, 0.482},
+      {"P2P", DatasetFamily::kP2P, 6300, 1, 205, 0.30, 0.35, 6000, 21000, -1, 0.493},
+  };
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& ReachabilityDatasets() {
+  static const std::vector<DatasetSpec>* catalog =
+      new std::vector<DatasetSpec>(BuildReachCatalog());
+  return *catalog;
+}
+
+const std::vector<DatasetSpec>& PatternDatasets() {
+  static const std::vector<DatasetSpec>* catalog =
+      new std::vector<DatasetSpec>(BuildPatternCatalog());
+  return *catalog;
+}
+
+Graph MakeDataset(const DatasetSpec& spec) {
+  Graph g;
+  switch (spec.family) {
+    case DatasetFamily::kSocial: {
+      // Average out-degree follows the published density; the structure
+      // knob is reciprocity — it drives the giant SCC that dominates RCr
+      // on social networks.
+      const double paper_avg_deg =
+          static_cast<double>(spec.paper_edges) /
+          static_cast<double>(spec.paper_nodes);
+      const size_t m = std::max<size_t>(2, static_cast<size_t>(paper_avg_deg / 2.2));
+      g = PreferentialAttachment(spec.num_nodes, m, spec.structure, spec.seed);
+      break;
+    }
+    case DatasetFamily::kWeb:
+      g = CopyingModel(spec.num_nodes, 5, 0.6, spec.seed);
+      break;
+    case DatasetFamily::kP2P:
+      g = LayeredRandom(spec.num_nodes, 8, 3, spec.structure * 0.45, spec.seed);
+      break;
+    case DatasetFamily::kCitation:
+      // Paper-density reference lists with same-window mutual citations
+      // (citHepTh's published SCC mass is substantial).
+      g = CitationDag(spec.num_nodes, 8, spec.structure, spec.seed,
+                      /*mutual_cite_prob=*/0.25);
+      break;
+    case DatasetFamily::kInternet:
+      g = InternetTopology(spec.num_nodes, spec.structure, spec.seed);
+      break;
+  }
+  if (spec.num_labels > 0) {
+    // Heavy-tailed label frequencies, as in real category/domain labels.
+    AssignZipfLabels(g, spec.num_labels, 0.9, spec.seed ^ 0xabcdef);
+  }
+  if (spec.twin_fraction > 0.0) {
+    // Duplicate content (mirror pages, reposts, cloned reference lists):
+    // the structural redundancy both equivalence relations merge.
+    CloneOutNeighborhoods(g, spec.twin_fraction, 0.3, spec.seed ^ 0x7777);
+  }
+  return g;
+}
+
+const DatasetSpec& FindPatternDataset(const std::string& name) {
+  for (const auto& s : PatternDatasets()) {
+    if (s.name == name) return s;
+  }
+  QPGC_CHECK(false && "unknown pattern dataset");
+  static DatasetSpec dummy;
+  return dummy;
+}
+
+const DatasetSpec& FindDataset(const std::string& name) {
+  for (const auto& s : ReachabilityDatasets()) {
+    if (s.name == name) return s;
+  }
+  for (const auto& s : PatternDatasets()) {
+    if (s.name == name) return s;
+  }
+  QPGC_CHECK(false && "unknown dataset");
+  static DatasetSpec dummy;
+  return dummy;
+}
+
+}  // namespace qpgc

@@ -1,0 +1,65 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Offline stand-ins for the paper's evaluation datasets (Section 6). The
+// real graphs are SNAP / web downloads; this environment is offline, so each
+// dataset is emulated by the structural model of its family, scaled 5-20x
+// down (EXPERIMENTS.md records paper-vs-measured sizes). A user with the
+// original files can load them through graph/io.h instead — every harness
+// takes a plain Graph.
+
+#ifndef QPGC_GEN_DATASET_CATALOG_H_
+#define QPGC_GEN_DATASET_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace qpgc {
+
+/// Dataset family, deciding the generator used.
+enum class DatasetFamily { kSocial, kWeb, kP2P, kCitation, kInternet };
+
+/// A named dataset stand-in.
+struct DatasetSpec {
+  std::string name;       // paper's dataset name
+  DatasetFamily family;
+  size_t num_nodes;       // scaled size
+  size_t num_labels;      // 0 = unlabeled (reachability experiments)
+  uint64_t seed;
+  /// Family-specific structure knob: reciprocity (social), back-link rate
+  /// (web), wrap rate (P2P), recency bias (citation), back-export rate
+  /// (Internet). Drives SCC mass and hence RCr.
+  double structure;
+  /// Fraction of nodes rewired into structural twins (duplicate content —
+  /// mirror pages, reposts, cloned reference lists). Drives bisimulation
+  /// merging and hence PCr.
+  double twin_fraction;
+  // Paper-reported reference values for EXPERIMENTS.md (sizes as published).
+  size_t paper_nodes;
+  size_t paper_edges;
+  double paper_rc_r;      // Table 1 RCr (reachability), or -1 if n/a
+  double paper_pc_r;      // Table 2 PCr (pattern), or -1 if n/a
+};
+
+/// The ten reachability datasets of Table 1, in table order.
+const std::vector<DatasetSpec>& ReachabilityDatasets();
+
+/// The five labeled pattern datasets of Table 2, in table order.
+const std::vector<DatasetSpec>& PatternDatasets();
+
+/// Instantiates a dataset stand-in (deterministic in spec.seed).
+Graph MakeDataset(const DatasetSpec& spec);
+
+/// Looks a spec up by name, reachability catalog first. Aborts if unknown.
+const DatasetSpec& FindDataset(const std::string& name);
+
+/// Looks a spec up in the *pattern* catalog (labeled stand-ins). Several
+/// names (Youtube, Internet, P2P) exist in both catalogs with different
+/// label alphabets; pattern experiments must use this lookup.
+const DatasetSpec& FindPatternDataset(const std::string& name);
+
+}  // namespace qpgc
+
+#endif  // QPGC_GEN_DATASET_CATALOG_H_

@@ -1,0 +1,62 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "gen/evolution.h"
+
+#include <cmath>
+
+#include "gen/uniform.h"
+#include "util/rng.h"
+
+namespace qpgc {
+
+Graph DensifiedGraph(size_t v0, double alpha, double beta, size_t num_labels,
+                     int iteration, uint64_t seed) {
+  double v = static_cast<double>(v0);
+  for (int i = 0; i < iteration; ++i) v *= beta;
+  const size_t nodes = static_cast<size_t>(v);
+  const size_t edges = static_cast<size_t>(std::pow(v, alpha));
+  return GenerateUniform(nodes, edges, num_labels, seed + iteration);
+}
+
+UpdateBatch PowerLawGrowthStep(Graph& g, double growth_rate,
+                               double high_degree_prob, uint64_t seed) {
+  Rng rng(seed);
+  const size_t n = g.num_nodes();
+  QPGC_CHECK(n >= 2);
+  const size_t to_add = static_cast<size_t>(
+      static_cast<double>(g.num_edges()) * growth_rate);
+
+  // Degree-proportional endpoint pool.
+  std::vector<NodeId> pool;
+  pool.reserve(2 * g.num_edges());
+  g.ForEachEdge([&](NodeId u, NodeId v) {
+    pool.push_back(u);
+    pool.push_back(v);
+  });
+  if (pool.empty()) {
+    for (NodeId v = 0; v < n; ++v) pool.push_back(v);
+  }
+
+  const auto draw = [&]() -> NodeId {
+    if (rng.Chance(high_degree_prob)) return pool[rng.Uniform(pool.size())];
+    return static_cast<NodeId>(rng.Uniform(n));
+  };
+
+  UpdateBatch batch;
+  size_t added = 0;
+  size_t guard = 0;
+  while (added < to_add && guard < to_add * 10 + 64) {
+    ++guard;
+    const NodeId u = draw();
+    const NodeId v = draw();
+    if (u == v || g.HasEdge(u, v)) continue;
+    batch.Insert(u, v);
+    g.AddEdge(u, v);
+    pool.push_back(u);
+    pool.push_back(v);
+    ++added;
+  }
+  return batch;
+}
+
+}  // namespace qpgc

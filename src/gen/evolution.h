@@ -1,0 +1,33 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Graph evolution for Exp-4 (Figures 12(i)-(l)):
+//  * Densification-law growth [17]: at iteration i, |V(i+1)| = beta * |V(i)|
+//    and |E(i+1)| = |V(i+1)|^alpha — denser and denser graphs.
+//  * Power-law growth [20]: edge count grows by a fixed rate per step, and
+//    each new edge attaches to a high-degree endpoint with probability 0.8.
+
+#ifndef QPGC_GEN_EVOLUTION_H_
+#define QPGC_GEN_EVOLUTION_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "inc/update.h"
+
+namespace qpgc {
+
+/// Densifying synthetic series: returns the graph of iteration `iteration`
+/// (0-based), with |V| = v0 * beta^iteration and |E| = |V|^alpha, labels
+/// uniform over num_labels. Deterministic in seed.
+Graph DensifiedGraph(size_t v0, double alpha, double beta, size_t num_labels,
+                     int iteration, uint64_t seed);
+
+/// One power-law growth step: adds `g.num_edges() * growth_rate` new edges;
+/// with probability `high_degree_prob` an endpoint is drawn proportionally
+/// to its degree, otherwise uniformly. Returns the batch actually applied.
+UpdateBatch PowerLawGrowthStep(Graph& g, double growth_rate,
+                               double high_degree_prob, uint64_t seed);
+
+}  // namespace qpgc
+
+#endif  // QPGC_GEN_EVOLUTION_H_

@@ -1,0 +1,259 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "gen/random_models.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/builder.h"
+#include "util/rng.h"
+
+namespace qpgc {
+
+namespace {
+
+// Out-degree with the heavy skew of real graphs: a substantial fraction of
+// nodes emit nothing (lurkers, dangling pages, never-citing papers), and
+// the rest draw around `mean`. Leaf mass is what both compressions feed on,
+// so generators must produce it the way real datasets do.
+size_t SkewedOutDegree(Rng& rng, size_t mean, double leaf_fraction) {
+  if (rng.Chance(leaf_fraction)) return 0;
+  // 1 + geometric-ish around mean.
+  size_t d = 1;
+  while (d < mean * 3 && rng.Chance(1.0 - 1.0 / static_cast<double>(mean))) {
+    ++d;
+  }
+  return d;
+}
+
+}  // namespace
+
+Graph PreferentialAttachment(size_t num_nodes, size_t out_degree,
+                             double reciprocity, uint64_t seed) {
+  QPGC_CHECK(num_nodes >= 2);
+  Rng rng(seed);
+  GraphBuilder builder(num_nodes);
+  // Degree-proportional pool; nodes enter as they arrive.
+  std::vector<NodeId> pool{0};
+  // ~35% of users never link out (lurkers) — they still receive edges.
+  constexpr double kLeafFraction = 0.35;
+  for (NodeId v = 1; v < num_nodes; ++v) {
+    const size_t m =
+        std::min<size_t>(SkewedOutDegree(rng, out_degree, kLeafFraction), v);
+    for (size_t i = 0; i < m; ++i) {
+      const NodeId target = pool[rng.Uniform(pool.size())];
+      if (target == v) continue;
+      builder.AddEdge(v, target);
+      pool.push_back(target);
+      if (rng.Chance(reciprocity)) {
+        builder.AddEdge(target, v);
+        pool.push_back(v);
+      }
+    }
+    pool.push_back(v);
+  }
+  return builder.Build();
+}
+
+Graph CopyingModel(size_t num_nodes, size_t out_degree, double copy_prob,
+                   uint64_t seed) {
+  QPGC_CHECK(num_nodes >= 2);
+  Rng rng(seed);
+  GraphBuilder builder(num_nodes);
+  std::vector<std::vector<NodeId>> out(num_nodes);
+  // Web graphs: plenty of dangling pages, plus navigational back-links that
+  // create the well-known giant SCC of the web.
+  constexpr double kLeafFraction = 0.3;
+  constexpr double kBackLink = 0.25;
+  for (NodeId v = 1; v < num_nodes; ++v) {
+    const NodeId prototype = static_cast<NodeId>(rng.Uniform(v));
+    const size_t m =
+        std::min<size_t>(SkewedOutDegree(rng, out_degree, kLeafFraction), v);
+    for (size_t i = 0; i < m; ++i) {
+      NodeId target;
+      if (!out[prototype].empty() && rng.Chance(copy_prob)) {
+        target = out[prototype][rng.Uniform(out[prototype].size())];
+      } else {
+        target = static_cast<NodeId>(rng.Uniform(v));
+      }
+      if (target == v) continue;
+      builder.AddEdge(v, target);
+      out[v].push_back(target);
+      if (rng.Chance(kBackLink)) builder.AddEdge(target, v);
+    }
+  }
+  return builder.Build();
+}
+
+Graph LayeredRandom(size_t num_nodes, size_t num_layers, size_t out_degree,
+                    double long_link_prob, uint64_t seed) {
+  QPGC_CHECK(num_nodes >= num_layers * 2 && num_layers >= 2);
+  Rng rng(seed);
+  GraphBuilder builder(num_nodes);
+  // Ultrapeer core: the first ~45% of peers, layered with wrap-around
+  // links. Pendant fringe: leaf peers attached to random ultrapeers, mostly
+  // sink-only (free riders) — the redundancy reachability equivalence
+  // collapses, as in real Gnutella snapshots.
+  const size_t core = std::max(num_layers * 2, num_nodes * 45 / 100);
+  const size_t per_layer = core / num_layers;
+  const auto layer_of = [&](NodeId v) -> size_t {
+    return std::min<size_t>(v / per_layer, num_layers - 1);
+  };
+  const auto pick_in_layer = [&](size_t layer) -> NodeId {
+    const size_t lo = layer * per_layer;
+    const size_t hi = layer == num_layers - 1 ? core : (layer + 1) * per_layer;
+    return static_cast<NodeId>(lo + rng.Uniform(hi - lo));
+  };
+  constexpr double kWrap = 0.5;
+  for (NodeId v = 0; v < core; ++v) {
+    const size_t layer = layer_of(v);
+    const size_t m = SkewedOutDegree(rng, out_degree, /*leaf_fraction=*/0.1);
+    for (size_t i = 0; i < m; ++i) {
+      NodeId target;
+      if (rng.Chance(long_link_prob)) {
+        target = static_cast<NodeId>(rng.Uniform(core));
+      } else if (layer + 1 < num_layers) {
+        target = pick_in_layer(layer + 1);
+      } else if (rng.Chance(kWrap)) {
+        target = pick_in_layer(0);  // close the overlay ring
+      } else {
+        continue;  // bottom-layer peer without a back-link
+      }
+      if (target == v) continue;
+      builder.AddEdge(v, target);
+    }
+  }
+  for (NodeId v = static_cast<NodeId>(core); v < num_nodes; ++v) {
+    // Each leaf peer registers with 1-2 ultrapeers; a quarter also forward
+    // queries back into the core.
+    const size_t registrations = 1 + rng.Uniform(2);
+    for (size_t i = 0; i < registrations; ++i) {
+      builder.AddEdge(static_cast<NodeId>(rng.Uniform(core)), v);
+    }
+    if (rng.Chance(0.25)) {
+      builder.AddEdge(v, static_cast<NodeId>(rng.Uniform(core)));
+    }
+  }
+  return builder.Build();
+}
+
+Graph CitationDag(size_t num_nodes, size_t out_degree, double recency_bias,
+                  uint64_t seed, double mutual_cite_prob) {
+  QPGC_CHECK(num_nodes >= 2);
+  Rng rng(seed);
+  GraphBuilder builder(num_nodes);
+  std::vector<std::vector<NodeId>> refs(num_nodes);
+  // Citation networks: reference lists are heavily copied from related work
+  // (which is what makes whole groups of papers reachability- and
+  // bisimulation-equivalent), and a fraction of papers cite nothing in the
+  // corpus.
+  constexpr double kLeafFraction = 0.3;
+  constexpr double kCopyRefs = 0.6;
+  for (NodeId v = 1; v < num_nodes; ++v) {
+    const size_t m =
+        std::min<size_t>(SkewedOutDegree(rng, out_degree, kLeafFraction), v);
+    if (m == 0) continue;
+    const NodeId prototype = static_cast<NodeId>(rng.Uniform(v));
+    for (size_t i = 0; i < m; ++i) {
+      NodeId target;
+      if (!refs[prototype].empty() && rng.Chance(kCopyRefs)) {
+        target = refs[prototype][rng.Uniform(refs[prototype].size())];
+      } else if (rng.Chance(recency_bias)) {
+        const size_t window = std::max<size_t>(1, v / 8);
+        target = static_cast<NodeId>(v - 1 - rng.Uniform(window));
+        // Simultaneous revisions sometimes cite each other — the cyclic
+        // mass real citation snapshots contain.
+        if (rng.Chance(mutual_cite_prob)) builder.AddEdge(target, v);
+      } else {
+        target = static_cast<NodeId>(rng.Uniform(v));
+      }
+      builder.AddEdge(v, target);
+      refs[v].push_back(target);
+    }
+  }
+  return builder.Build();
+}
+
+Graph InternetTopology(size_t num_nodes, double peering_fraction,
+                       uint64_t seed) {
+  QPGC_CHECK(num_nodes >= 2);
+  Rng rng(seed);
+  GraphBuilder builder(num_nodes);
+  std::vector<NodeId> pool{0};
+  // AS-level routing edges are directional exports: customers announce to
+  // providers; only some providers propagate routes back (giving a core SCC
+  // among transit ASes, with a directed stub fringe — the mixed structure
+  // behind the paper's mid-range 16% RCr).
+  constexpr double kBackExport = 0.35;
+  for (NodeId v = 1; v < num_nodes; ++v) {
+    const NodeId provider = pool[rng.Uniform(pool.size())];
+    if (provider != v) {
+      builder.AddEdge(v, provider);
+      if (rng.Chance(kBackExport)) builder.AddEdge(provider, v);
+      pool.push_back(provider);
+      pool.push_back(provider);  // providers accumulate attachment mass
+    }
+    pool.push_back(v);
+    if (rng.Chance(peering_fraction) && v >= 2) {
+      const NodeId peer = static_cast<NodeId>(rng.Uniform(v));
+      if (peer != v) {
+        builder.AddEdge(v, peer);
+        builder.AddEdge(peer, v);
+      }
+    }
+  }
+  return builder.Build();
+}
+
+void CloneOutNeighborhoods(Graph& g, double fraction, double lo_fraction,
+                           uint64_t seed) {
+  const size_t n = g.num_nodes();
+  if (n < 4 || fraction <= 0.0) return;
+  Rng rng(seed);
+  const NodeId lo = static_cast<NodeId>(static_cast<double>(n) * lo_fraction);
+  QPGC_CHECK(lo < n);
+
+  // Choose twins from [lo, n); prototypes come from the non-twin rest so a
+  // twin never copies a node that is itself about to be rewired.
+  std::vector<NodeId> candidates;
+  candidates.reserve(n - lo);
+  for (NodeId v = lo; v < n; ++v) candidates.push_back(v);
+  rng.Shuffle(candidates);
+  const size_t num_twins = std::min(
+      candidates.size(), static_cast<size_t>(static_cast<double>(n) * fraction));
+  std::vector<uint8_t> is_twin(n, 0);
+  for (size_t i = 0; i < num_twins; ++i) is_twin[candidates[i]] = 1;
+
+  // Prototypes come from a small pool — duplicate content clusters around a
+  // few canonical originals (survey reference lists, popular reposts), and
+  // that concentration is what lets whole twin groups collapse together.
+  std::vector<NodeId> pool;
+  const size_t pool_target = std::max<size_t>(8, n / 32);
+  for (int tries = 0; pool.size() < pool_target && tries < 4096; ++tries) {
+    const NodeId p = static_cast<NodeId>(rng.Uniform(n));
+    if (!is_twin[p]) pool.push_back(p);
+  }
+  if (pool.empty()) return;
+
+  for (size_t i = 0; i < num_twins; ++i) {
+    const NodeId v = candidates[i];
+    NodeId prototype = v;
+    for (int tries = 0; tries < 32; ++tries) {
+      const NodeId p = pool[rng.Uniform(pool.size())];
+      if (p != v) {
+        prototype = p;
+        break;
+      }
+    }
+    if (prototype == v) continue;
+    const std::vector<NodeId> old_out(g.OutNeighbors(v).begin(),
+                                      g.OutNeighbors(v).end());
+    for (NodeId w : old_out) g.RemoveEdge(v, w);
+    for (NodeId w : g.OutNeighbors(prototype)) {
+      if (w != v) g.AddEdge(v, w);
+    }
+    g.set_label(v, g.label(prototype));
+  }
+}
+
+}  // namespace qpgc

@@ -1,0 +1,69 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Structural random-graph models emulating the paper's dataset families
+// (DESIGN.md §4). Each model exposes the knobs that drive the two
+// compression ratios: SCC mass (reciprocity), leaf redundancy (attachment
+// spread), topology diversity and label diversity.
+
+#ifndef QPGC_GEN_RANDOM_MODELS_H_
+#define QPGC_GEN_RANDOM_MODELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace qpgc {
+
+/// Directed preferential attachment (social networks: facebook, wikiVote,
+/// socEpinions, Youtube, wikiTalk). Each new node draws `out_degree` targets
+/// proportional to degree+1; each edge is reciprocated with probability
+/// `reciprocity` — reciprocity is what creates the giant SCC that makes
+/// social networks compress so well for reachability.
+Graph PreferentialAttachment(size_t num_nodes, size_t out_degree,
+                             double reciprocity, uint64_t seed);
+
+/// Linear copying model (web graphs: NotreDame, California). A new page
+/// picks a prototype and copies each of its links with probability
+/// `copy_prob`, otherwise links uniformly. Produces hub/authority structure
+/// and large families of structurally identical leaf pages.
+Graph CopyingModel(size_t num_nodes, size_t out_degree, double copy_prob,
+                   uint64_t seed);
+
+/// P2P overlay (Gnutella): an ultrapeer core arranged in `num_layers`
+/// layers with query-forwarding edges, wrap-around links closing the core,
+/// and occasional long links — plus a large pendant fringe of leaf peers
+/// that hang off random core ultrapeers (the Gnutella leaf/ultrapeer
+/// architecture). Pendants are what reachability equivalence collapses.
+Graph LayeredRandom(size_t num_nodes, size_t num_layers, size_t out_degree,
+                    double long_link_prob, uint64_t seed);
+
+/// Temporal citation graph (citHepTh, Citation): node i cites earlier
+/// papers, preferring recent and highly cited ones, with reference lists
+/// frequently copied from a related paper. `mutual_cite_prob` adds
+/// same-window back-citations (simultaneous revisions citing each other),
+/// the cyclic mass real citation snapshots contain; with the default 0 the
+/// graph is acyclic by construction.
+Graph CitationDag(size_t num_nodes, size_t out_degree, double recency_bias,
+                  uint64_t seed, double mutual_cite_prob = 0.0);
+
+/// Autonomous-system style topology (Internet): directed customer->provider
+/// announcements over a preferential core, with partial route back-export
+/// and bidirectional peering — a transit SCC plus a directed stub fringe.
+Graph InternetTopology(size_t num_nodes, double peering_fraction,
+                       uint64_t seed);
+
+/// Rewires `fraction` of the nodes into structural twins: each twin copies
+/// the label and the entire out-neighborhood of a (non-twin) prototype.
+/// This is the generator's rendition of the duplicate content real graphs
+/// are full of — mirror pages, reposted videos, duplicated product entries,
+/// cloned reference lists — and it is exactly what both equivalence
+/// relations merge. Twins are drawn from the id range
+/// [lo_fraction * n, n); in temporal models high ids are recent nodes,
+/// which keeps twins lightly cited (ancestor sets stay equal).
+void CloneOutNeighborhoods(Graph& g, double fraction, double lo_fraction,
+                           uint64_t seed);
+
+}  // namespace qpgc
+
+#endif  // QPGC_GEN_RANDOM_MODELS_H_

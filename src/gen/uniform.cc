@@ -1,0 +1,48 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "gen/uniform.h"
+
+#include "graph/builder.h"
+#include "util/rng.h"
+
+namespace qpgc {
+
+Graph GenerateUniform(size_t num_nodes, size_t num_edges, size_t num_labels,
+                      uint64_t seed) {
+  QPGC_CHECK(num_nodes >= 2 || num_edges == 0);
+  Rng rng(seed);
+  GraphBuilder builder(num_nodes);
+  // Build may deduplicate; oversample slightly and trust dedup for the
+  // small overshoot (exact edge counts are not load-bearing anywhere).
+  const size_t target = num_edges;
+  size_t produced = 0;
+  size_t guard = 0;
+  const size_t max_tries = target * 4 + 64;
+  while (produced < target && guard < max_tries) {
+    ++guard;
+    const NodeId u = static_cast<NodeId>(rng.Uniform(num_nodes));
+    const NodeId v = static_cast<NodeId>(rng.Uniform(num_nodes));
+    if (u == v) continue;
+    builder.AddEdge(u, v);
+    ++produced;
+  }
+  Graph g = builder.Build();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    g.set_label(v, num_labels == 0
+                       ? kNoLabel
+                       : static_cast<Label>(rng.Uniform(num_labels)));
+  }
+  return g;
+}
+
+void AssignZipfLabels(Graph& g, size_t num_labels, double zipf_s,
+                      uint64_t seed) {
+  QPGC_CHECK(num_labels > 0);
+  Rng rng(seed);
+  const ZipfSampler zipf(num_labels, zipf_s);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    g.set_label(v, static_cast<Label>(zipf.Sample(rng)));
+  }
+}
+
+}  // namespace qpgc

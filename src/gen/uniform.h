@@ -1,0 +1,30 @@
+// Copyright 2026 The QPGC Authors.
+//
+// The paper's synthetic graph generator (Section 6): graphs controlled by
+// the number of nodes |V|, the number of edges |E| and the size |L| of the
+// label alphabet, with edges drawn uniformly at random.
+
+#ifndef QPGC_GEN_UNIFORM_H_
+#define QPGC_GEN_UNIFORM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace qpgc {
+
+/// Generates a uniform random graph with `num_nodes` nodes, `num_edges`
+/// distinct directed edges (no self-loops) and labels uniform over
+/// [0, num_labels). Deterministic in `seed`.
+Graph GenerateUniform(size_t num_nodes, size_t num_edges, size_t num_labels,
+                      uint64_t seed);
+
+/// Assigns labels from a Zipf(s) distribution over [0, num_labels) —
+/// real-life label frequencies are heavy-tailed. In place.
+void AssignZipfLabels(Graph& g, size_t num_labels, double zipf_s,
+                      uint64_t seed);
+
+}  // namespace qpgc
+
+#endif  // QPGC_GEN_UNIFORM_H_

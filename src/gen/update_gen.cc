@@ -1,0 +1,66 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "gen/update_gen.h"
+
+#include <unordered_set>
+
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace qpgc {
+
+namespace {
+using EdgeSet = std::unordered_set<std::pair<NodeId, NodeId>, PairHash>;
+}  // namespace
+
+UpdateBatch RandomInsertions(const Graph& g, size_t count, uint64_t seed) {
+  Rng rng(seed);
+  const size_t n = g.num_nodes();
+  QPGC_CHECK(n >= 2);
+  UpdateBatch batch;
+  EdgeSet chosen;
+  size_t guard = 0;
+  while (batch.size() < count && guard < count * 20 + 64) {
+    ++guard;
+    const NodeId u = static_cast<NodeId>(rng.Uniform(n));
+    const NodeId v = static_cast<NodeId>(rng.Uniform(n));
+    if (u == v || g.HasEdge(u, v)) continue;
+    if (!chosen.insert({u, v}).second) continue;
+    batch.Insert(u, v);
+  }
+  return batch;
+}
+
+UpdateBatch RandomDeletions(const Graph& g, size_t count, uint64_t seed) {
+  Rng rng(seed);
+  auto edges = g.EdgeList();
+  QPGC_CHECK(!edges.empty());
+  rng.Shuffle(edges);
+  UpdateBatch batch;
+  for (size_t i = 0; i < edges.size() && batch.size() < count; ++i) {
+    batch.Delete(edges[i].first, edges[i].second);
+  }
+  return batch;
+}
+
+UpdateBatch RandomMixed(const Graph& g, size_t count, double insert_fraction,
+                        uint64_t seed) {
+  Rng rng(seed);
+  const size_t n_ins = static_cast<size_t>(count * insert_fraction);
+  const size_t n_del = count - n_ins;
+  UpdateBatch ins = RandomInsertions(g, n_ins, seed ^ 0x1111);
+  UpdateBatch del = RandomDeletions(g, n_del, seed ^ 0x2222);
+  // Interleave deterministically.
+  UpdateBatch batch;
+  size_t i = 0, d = 0;
+  while (i < ins.size() || d < del.size()) {
+    if (i < ins.size() && (d >= del.size() || rng.Chance(0.5))) {
+      batch.updates.push_back(ins.updates[i++]);
+    } else if (d < del.size()) {
+      batch.updates.push_back(del.updates[d++]);
+    }
+  }
+  return batch;
+}
+
+}  // namespace qpgc

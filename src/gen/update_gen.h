@@ -1,0 +1,29 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Workload generators for the incremental experiments (Exp-3): random batch
+// insertions, deletions and mixed updates against a fixed graph.
+
+#ifndef QPGC_GEN_UPDATE_GEN_H_
+#define QPGC_GEN_UPDATE_GEN_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "inc/update.h"
+
+namespace qpgc {
+
+/// `count` random edge insertions (edges absent from g, no self-loops).
+UpdateBatch RandomInsertions(const Graph& g, size_t count, uint64_t seed);
+
+/// `count` random edge deletions (edges present in g).
+UpdateBatch RandomDeletions(const Graph& g, size_t count, uint64_t seed);
+
+/// A mixed batch: `count` updates, each an insertion with probability
+/// `insert_fraction`, else a deletion.
+UpdateBatch RandomMixed(const Graph& g, size_t count, double insert_fraction,
+                        uint64_t seed);
+
+}  // namespace qpgc
+
+#endif  // QPGC_GEN_UPDATE_GEN_H_

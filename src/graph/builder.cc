@@ -1,0 +1,25 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "graph/builder.h"
+
+#include <algorithm>
+
+namespace qpgc {
+
+Graph GraphBuilder::Build() {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  Graph g(std::move(labels_));
+  // Edges are sorted by (u, v); AddEdge appends at the tail of each sorted
+  // adjacency vector, so construction is linear.
+  for (const auto& [u, v] : edges_) {
+    const bool inserted = g.AddEdge(u, v);
+    QPGC_CHECK(inserted);  // duplicates were removed above
+  }
+  labels_.clear();
+  edges_.clear();
+  return g;
+}
+
+}  // namespace qpgc

@@ -1,0 +1,30 @@
+// Copyright 2026 The QPGC Authors.
+//
+// The SCC graph Gscc of Section 5: each strongly connected component becomes
+// a single node; edges are deduplicated; intra-SCC edges (including
+// self-loops) are dropped, so the condensation is a simple DAG. Whether a
+// component was cyclic is retained in `scc.cyclic` — the compression
+// algorithms need it to preserve non-empty-path self-reachability.
+
+#ifndef QPGC_GRAPH_CONDENSATION_H_
+#define QPGC_GRAPH_CONDENSATION_H_
+
+#include "graph/graph.h"
+#include "graph/scc.h"
+
+namespace qpgc {
+
+/// SCC condensation: a simple DAG plus the SCC mapping.
+struct Condensation {
+  /// DAG over SCC ids (node c of `dag` is SCC c of `scc`). No self-loops.
+  Graph dag;
+  /// The SCC decomposition (component map, members, cyclic flags).
+  SccResult scc;
+};
+
+/// Builds the condensation of g. O(|V| + |E| log |E|).
+Condensation BuildCondensation(const Graph& g);
+
+}  // namespace qpgc
+
+#endif  // QPGC_GRAPH_CONDENSATION_H_

@@ -1,0 +1,58 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "graph/csr.h"
+
+#include "util/memory.h"
+
+namespace qpgc {
+
+CsrGraph::CsrGraph(const Graph& g) {
+  const size_t n = g.num_nodes();
+  labels_ = g.labels();
+
+  out_offsets_.resize(n + 1);
+  in_offsets_.resize(n + 1);
+  out_targets_.reserve(g.num_edges());
+  in_targets_.reserve(g.num_edges());
+  for (NodeId u = 0; u < n; ++u) {
+    out_offsets_[u] = out_targets_.size();
+    const auto out = g.OutNeighbors(u);
+    out_targets_.insert(out_targets_.end(), out.begin(), out.end());
+    in_offsets_[u] = in_targets_.size();
+    const auto in = g.InNeighbors(u);
+    in_targets_.insert(in_targets_.end(), in.begin(), in.end());
+  }
+  out_offsets_[n] = out_targets_.size();
+  in_offsets_[n] = in_targets_.size();
+}
+
+size_t CsrGraph::MemoryBytes() const {
+  return VectorBytes(out_offsets_) + VectorBytes(out_targets_) +
+         VectorBytes(in_offsets_) + VectorBytes(in_targets_) +
+         VectorBytes(labels_);
+}
+
+bool CsrBfsReaches(const CsrGraph& g, NodeId u, NodeId v, PathMode mode) {
+  if (mode == PathMode::kReflexive && u == v) return true;
+  std::vector<uint8_t> visited(g.num_nodes(), 0);
+  std::vector<NodeId> queue;
+  for (NodeId w : g.OutNeighbors(u)) {
+    if (w == v) return true;
+    if (!visited[w]) {
+      visited[w] = 1;
+      queue.push_back(w);
+    }
+  }
+  for (size_t i = 0; i < queue.size(); ++i) {
+    for (NodeId w : g.OutNeighbors(queue[i])) {
+      if (w == v) return true;
+      if (!visited[w]) {
+        visited[w] = 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace qpgc

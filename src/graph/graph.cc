@@ -1,0 +1,85 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+#include "util/memory.h"
+
+namespace qpgc {
+
+namespace {
+// Inserts x into sorted vector v; returns false if already present.
+bool SortedInsert(std::vector<NodeId>& v, NodeId x) {
+  const auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it != v.end() && *it == x) return false;
+  v.insert(it, x);
+  return true;
+}
+
+// Erases x from sorted vector v; returns false if absent.
+bool SortedErase(std::vector<NodeId>& v, NodeId x) {
+  const auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it == v.end() || *it != x) return false;
+  v.erase(it);
+  return true;
+}
+}  // namespace
+
+NodeId Graph::AddNode(Label label) {
+  const NodeId id = static_cast<NodeId>(out_.size());
+  labels_.push_back(label);
+  out_.emplace_back();
+  in_.emplace_back();
+  return id;
+}
+
+bool Graph::AddEdge(NodeId u, NodeId v) {
+  QPGC_CHECK(u < out_.size() && v < out_.size());
+  if (!SortedInsert(out_[u], v)) return false;
+  QPGC_CHECK(SortedInsert(in_[v], u));
+  ++num_edges_;
+  return true;
+}
+
+bool Graph::RemoveEdge(NodeId u, NodeId v) {
+  QPGC_CHECK(u < out_.size() && v < out_.size());
+  if (!SortedErase(out_[u], v)) return false;
+  QPGC_CHECK(SortedErase(in_[v], u));
+  --num_edges_;
+  return true;
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  QPGC_CHECK(u < out_.size() && v < out_.size());
+  const auto& adj = out_[u];
+  return std::binary_search(adj.begin(), adj.end(), v);
+}
+
+size_t Graph::CountDistinctLabels() const {
+  std::unordered_set<Label> seen(labels_.begin(), labels_.end());
+  return seen.size();
+}
+
+std::vector<std::pair<NodeId, NodeId>> Graph::EdgeList() const {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(num_edges_);
+  ForEachEdge([&](NodeId u, NodeId v) { edges.emplace_back(u, v); });
+  return edges;
+}
+
+size_t Graph::MemoryBytes() const {
+  return VectorBytes(labels_) + NestedVectorBytes(out_) +
+         NestedVectorBytes(in_);
+}
+
+std::string Graph::DebugString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "Graph(|V|=%zu, |E|=%zu, |L|=%zu)",
+                num_nodes(), num_edges(), CountDistinctLabels());
+  return std::string(buf);
+}
+
+}  // namespace qpgc

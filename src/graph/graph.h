@@ -1,0 +1,132 @@
+// Copyright 2026 The QPGC Authors.
+//
+// The labeled directed graph G = (V, E, L) of the paper (Section 2.1).
+//
+// Design notes:
+//  * Nodes are dense 0-based ids; labels are dense small integers (a label
+//    table can map them to strings at the I/O layer).
+//  * Adjacency (both out- and in-) is kept in sorted vectors: O(log d) edge
+//    tests, O(d) insertion/removal. The incremental algorithms (Section 5)
+//    need in-neighbors and efficient single-edge updates; the batch
+//    algorithms only read.
+//  * Parallel edges are not represented (the paper's E ⊆ V × V is a set);
+//    AddEdge returns false on duplicates. Self-loops are allowed.
+//  * |G| is measured as |V| + |E| everywhere, matching the paper's
+//    compression ratio |Gr| / |G|.
+
+#ifndef QPGC_GRAPH_GRAPH_H_
+#define QPGC_GRAPH_GRAPH_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace qpgc {
+
+/// A labeled directed graph with dynamic adjacency.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Creates a graph with `n` nodes, no edges, all labels kNoLabel.
+  explicit Graph(size_t n)
+      : labels_(n, kNoLabel), out_(n), in_(n), num_edges_(0) {}
+
+  /// Creates a graph with explicit labels (one per node).
+  explicit Graph(std::vector<Label> labels)
+      : labels_(std::move(labels)),
+        out_(labels_.size()),
+        in_(labels_.size()),
+        num_edges_(0) {}
+
+  // --- Structure ------------------------------------------------------------
+
+  /// Number of nodes |V|.
+  size_t num_nodes() const { return out_.size(); }
+  /// Number of edges |E|.
+  size_t num_edges() const { return num_edges_; }
+  /// Graph size |G| = |V| + |E| (the paper's measure).
+  size_t size() const { return num_nodes() + num_edges(); }
+
+  /// Appends a new node with the given label; returns its id.
+  NodeId AddNode(Label label = kNoLabel);
+
+  /// Inserts edge (u, v). Returns false (and does nothing) if it exists.
+  bool AddEdge(NodeId u, NodeId v);
+
+  /// Removes edge (u, v). Returns false if it did not exist.
+  bool RemoveEdge(NodeId u, NodeId v);
+
+  /// True iff edge (u, v) exists.
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// Out-neighbors of u, sorted ascending.
+  std::span<const NodeId> OutNeighbors(NodeId u) const {
+    QPGC_DCHECK(u < out_.size());
+    return out_[u];
+  }
+  /// In-neighbors of u, sorted ascending.
+  std::span<const NodeId> InNeighbors(NodeId u) const {
+    QPGC_DCHECK(u < in_.size());
+    return in_[u];
+  }
+
+  size_t OutDegree(NodeId u) const { return out_[u].size(); }
+  size_t InDegree(NodeId u) const { return in_[u].size(); }
+
+  // --- Labels ---------------------------------------------------------------
+
+  Label label(NodeId u) const {
+    QPGC_DCHECK(u < labels_.size());
+    return labels_[u];
+  }
+  void set_label(NodeId u, Label l) {
+    QPGC_DCHECK(u < labels_.size());
+    labels_[u] = l;
+  }
+  const std::vector<Label>& labels() const { return labels_; }
+
+  /// Number of distinct labels present (kNoLabel counts as one value if any
+  /// node is unlabeled).
+  size_t CountDistinctLabels() const;
+
+  // --- Whole-graph operations -------------------------------------------------
+
+  /// Reverses every edge, in place. O(|E|).
+  void Reverse() { out_.swap(in_); }
+
+  /// Calls fn(u, v) for every edge, in (u ascending, v ascending) order.
+  template <typename Fn>
+  void ForEachEdge(Fn&& fn) const {
+    for (NodeId u = 0; u < out_.size(); ++u) {
+      for (NodeId v : out_[u]) fn(u, static_cast<NodeId>(v));
+    }
+  }
+
+  /// All edges as a vector of pairs (u, v), sorted.
+  std::vector<std::pair<NodeId, NodeId>> EdgeList() const;
+
+  /// Structural equality: same node count, labels, and edge set.
+  bool operator==(const Graph& other) const {
+    return labels_ == other.labels_ && out_ == other.out_;
+  }
+
+  /// Heap bytes held by the representation (Fig. 12(d) accounting).
+  size_t MemoryBytes() const;
+
+  /// Human-readable one-line summary, e.g. "Graph(|V|=6, |E|=9, |L|=3)".
+  std::string DebugString() const;
+
+ private:
+  std::vector<Label> labels_;
+  std::vector<std::vector<NodeId>> out_;
+  std::vector<std::vector<NodeId>> in_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace qpgc
+
+#endif  // QPGC_GRAPH_GRAPH_H_

@@ -1,0 +1,101 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "graph/io.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "graph/builder.h"
+
+namespace qpgc {
+
+namespace {
+
+// Parses "u v" pairs from a stream into a builder. Returns a line number on
+// failure, 0 on success.
+size_t ParseEdgesInto(std::istream& in, GraphBuilder& builder) {
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    size_t i = 0;
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])))
+      ++i;
+    if (i >= line.size() || line[i] == '#') continue;
+    unsigned long long u = 0, v = 0;
+    if (std::sscanf(line.c_str() + i, "%llu %llu", &u, &v) != 2) return lineno;
+    if (u > kInvalidNode - 1 || v > kInvalidNode - 1) return lineno;
+    builder.AddEdgeAutoGrow(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  return 0;
+}
+
+}  // namespace
+
+Result<Graph> LoadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  GraphBuilder builder;
+  const size_t bad_line = ParseEdgesInto(in, builder);
+  if (bad_line != 0) {
+    return Status::CorruptData(path + ": bad edge at line " +
+                               std::to_string(bad_line));
+  }
+  return builder.Build();
+}
+
+Result<Graph> ParseEdgeList(const std::string& text) {
+  std::istringstream in(text);
+  GraphBuilder builder;
+  const size_t bad_line = ParseEdgesInto(in, builder);
+  if (bad_line != 0) {
+    return Status::CorruptData("bad edge at line " + std::to_string(bad_line));
+  }
+  return builder.Build();
+}
+
+Status SaveEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << "# qpgc edge list: " << g.num_nodes() << " nodes, " << g.num_edges()
+      << " edges\n";
+  g.ForEachEdge([&](NodeId u, NodeId v) { out << u << ' ' << v << '\n'; });
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Status LoadLabels(Graph& g, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    unsigned long long u = 0, l = 0;
+    if (std::sscanf(line.c_str(), "%llu %llu", &u, &l) != 2) {
+      return Status::CorruptData(path + ": bad label at line " +
+                                 std::to_string(lineno));
+    }
+    if (u >= g.num_nodes()) {
+      return Status::CorruptData(path + ": node out of range at line " +
+                                 std::to_string(lineno));
+    }
+    g.set_label(static_cast<NodeId>(u), static_cast<Label>(l));
+  }
+  return Status::Ok();
+}
+
+Status SaveLabels(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    out << u << ' ' << g.label(u) << '\n';
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace qpgc

@@ -1,0 +1,74 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "graph/reduction.h"
+
+#include <algorithm>
+
+#include "graph/builder.h"
+#include "graph/closure.h"
+#include "graph/topology.h"
+#include "util/bitset.h"
+
+namespace qpgc {
+
+namespace {
+
+// Visits every non-self-loop edge (u, v) of `dag` together with a verdict of
+// whether it is transitively redundant (another u-child reaches v).
+template <typename Fn>
+void ForEachEdgeWithVerdict(const Graph& dag, size_t block_cols, Fn&& fn) {
+  const size_t n = dag.num_nodes();
+  if (n == 0) return;
+  const std::vector<NodeId> order = ReverseTopologicalOrder(dag);
+  block_cols = std::min(block_cols, n);
+  BitMatrix block(n, block_cols);
+
+  for (size_t start = 0; start < n; start += block_cols) {
+    const size_t cols = std::min(block_cols, n - start);
+    if (cols != block.cols()) block = BitMatrix(n, cols);
+    BlockDescendants(dag, order, {}, start, cols, Direction::kForward, block);
+
+    for (NodeId u = 0; u < n; ++u) {
+      const auto children = dag.OutNeighbors(u);
+      for (NodeId v : children) {
+        if (v == u) continue;  // self-loops handled by the caller
+        if (v < start || v >= start + cols) continue;
+        bool redundant = false;
+        for (NodeId w : children) {
+          // The self-loop "child" u and the edge's own target v are not
+          // witnesses of redundancy.
+          if (w == v || w == u) continue;
+          if (block.Test(w, v - start)) {
+            redundant = true;
+            break;
+          }
+        }
+        fn(u, v, redundant);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Graph TransitiveReductionDag(const Graph& dag, size_t block_cols) {
+  const size_t n = dag.num_nodes();
+  GraphBuilder builder(n);
+  for (NodeId u = 0; u < n; ++u) {
+    builder.SetLabel(u, dag.label(u));
+    if (dag.HasEdge(u, u)) builder.AddEdge(u, u);  // self-loops preserved
+  }
+  ForEachEdgeWithVerdict(dag, block_cols, [&](NodeId u, NodeId v, bool red) {
+    if (!red) builder.AddEdge(u, v);
+  });
+  return builder.Build();
+}
+
+size_t CountRedundantEdgesDag(const Graph& dag, size_t block_cols) {
+  size_t count = 0;
+  ForEachEdgeWithVerdict(dag, block_cols,
+                         [&](NodeId, NodeId, bool red) { count += red; });
+  return count;
+}
+
+}  // namespace qpgc

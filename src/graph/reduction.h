@@ -1,0 +1,30 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Transitive reduction of a DAG. compressR (Section 3.2, lines 6-8) inserts
+// no edge whose endpoints are already connected — i.e. it emits a minimal
+// equivalent graph. On a DAG the minimal equivalent graph is *unique* (the
+// transitive reduction of Aho, Garey & Ullman), which we exploit so that the
+// incremental algorithm's output is comparable edge-for-edge with the batch
+// algorithm's.
+//
+// Self-loops are preserved verbatim: on compressed class graphs they encode
+// non-empty self-reachability of cyclic classes and are never redundant.
+
+#ifndef QPGC_GRAPH_REDUCTION_H_
+#define QPGC_GRAPH_REDUCTION_H_
+
+#include "graph/graph.h"
+
+namespace qpgc {
+
+/// Returns the unique transitive reduction of `dag` (which may carry
+/// self-loops but no other cycles). Labels are copied. Memory is bounded by
+/// processing reachability in column blocks of `block_cols` ids.
+Graph TransitiveReductionDag(const Graph& dag, size_t block_cols = 8192);
+
+/// Number of edges the reduction would remove, without materializing it.
+size_t CountRedundantEdgesDag(const Graph& dag, size_t block_cols = 8192);
+
+}  // namespace qpgc
+
+#endif  // QPGC_GRAPH_REDUCTION_H_

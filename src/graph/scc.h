@@ -1,0 +1,38 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Strongly connected components (iterative Tarjan). Both compression schemes
+// start here: compressR collapses SCCs outright (the paper's optimization,
+// Section 3.2), and the bisimulation rank rb (Section 5.2) is defined over
+// the SCC graph.
+
+#ifndef QPGC_GRAPH_SCC_H_
+#define QPGC_GRAPH_SCC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/common.h"
+
+namespace qpgc {
+
+/// Output of SCC decomposition.
+struct SccResult {
+  /// component[v] = id of v's SCC. Ids are assigned in *reverse topological
+  /// order*: if the condensation has an edge C1 -> C2, then id(C1) > id(C2).
+  std::vector<NodeId> component;
+  /// Number of SCCs.
+  size_t num_components = 0;
+  /// cyclic[c] = 1 iff SCC c contains a cycle (size > 1, or a self-loop).
+  std::vector<uint8_t> cyclic;
+  /// members[c] = nodes of SCC c.
+  std::vector<std::vector<NodeId>> members;
+};
+
+/// Tarjan's algorithm, iterative (no recursion; safe for deep graphs).
+/// O(|V| + |E|).
+SccResult ComputeScc(const Graph& g);
+
+}  // namespace qpgc
+
+#endif  // QPGC_GRAPH_SCC_H_

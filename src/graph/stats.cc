@@ -1,0 +1,53 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "graph/scc.h"
+
+namespace qpgc {
+
+GraphStats ComputeStats(const Graph& g) {
+  GraphStats s;
+  s.num_nodes = g.num_nodes();
+  s.num_edges = g.num_edges();
+  s.num_labels = g.CountDistinctLabels();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    s.max_out_degree = std::max(s.max_out_degree, g.OutDegree(u));
+    s.max_in_degree = std::max(s.max_in_degree, g.InDegree(u));
+    if (g.InDegree(u) == 0) ++s.num_sources;
+    if (g.OutDegree(u) == 0) ++s.num_sinks;
+  }
+  s.avg_degree = s.num_nodes == 0
+                     ? 0.0
+                     : static_cast<double>(s.num_edges) /
+                           static_cast<double>(s.num_nodes);
+  const SccResult scc = ComputeScc(g);
+  s.num_sccs = scc.num_components;
+  size_t cyclic_nodes = 0;
+  for (size_t c = 0; c < scc.num_components; ++c) {
+    s.largest_scc = std::max(s.largest_scc, scc.members[c].size());
+    if (scc.cyclic[c]) cyclic_nodes += scc.members[c].size();
+  }
+  s.cyclic_node_fraction =
+      s.num_nodes == 0 ? 0.0
+                       : static_cast<double>(cyclic_nodes) /
+                             static_cast<double>(s.num_nodes);
+  return s;
+}
+
+std::string FormatStats(const GraphStats& s) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "|V|=%zu |E|=%zu |L|=%zu avg_deg=%.2f max_out=%zu max_in=%zu\n"
+      "SCCs=%zu largest_scc=%zu cyclic_frac=%.3f sources=%zu sinks=%zu",
+      s.num_nodes, s.num_edges, s.num_labels, s.avg_degree, s.max_out_degree,
+      s.max_in_degree, s.num_sccs, s.largest_scc, s.cyclic_node_fraction,
+      s.num_sources, s.num_sinks);
+  return std::string(buf);
+}
+
+}  // namespace qpgc

@@ -1,0 +1,40 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Descriptive statistics used by the dataset catalog and the experiment
+// reports (degree distribution, SCC mass, label diversity).
+
+#ifndef QPGC_GRAPH_STATS_H_
+#define QPGC_GRAPH_STATS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace qpgc {
+
+/// Summary statistics of a graph.
+struct GraphStats {
+  size_t num_nodes = 0;
+  size_t num_edges = 0;
+  size_t num_labels = 0;
+  size_t max_out_degree = 0;
+  size_t max_in_degree = 0;
+  double avg_degree = 0.0;
+  size_t num_sccs = 0;
+  size_t largest_scc = 0;
+  /// Fraction of nodes inside non-trivial (cyclic) SCCs.
+  double cyclic_node_fraction = 0.0;
+  size_t num_sources = 0;  // in-degree 0
+  size_t num_sinks = 0;    // out-degree 0
+};
+
+/// Computes statistics (runs an SCC decomposition).
+GraphStats ComputeStats(const Graph& g);
+
+/// Multi-line human-readable report.
+std::string FormatStats(const GraphStats& s);
+
+}  // namespace qpgc
+
+#endif  // QPGC_GRAPH_STATS_H_

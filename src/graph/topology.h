@@ -1,0 +1,57 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Topological orders and the two rank functions the paper's incremental
+// algorithms are built on:
+//
+//  * r(s)  — the *topological rank* of Section 5.1: r(s) = 0 if s's SCC has
+//    no child in the condensation; nodes of one SCC share a rank; otherwise
+//    r(s) = max over children + 1. Lemma 7: (u,v) in Re implies r(u) = r(v).
+//
+//  * rb(v) — the *bisimulation rank* of Section 5.2 (after Dovier, Piazza &
+//    Policriti): rb(v) = 0 for leaves; rb(v) = -inf for nodes of a cyclic
+//    sink SCC; otherwise rb(v) = max of (rb(child)+1) over well-founded
+//    children SCCs and rb(child) over non-well-founded ones. Lemma 9:
+//    bisimilar nodes have equal rank, and a node is only affected by updates
+//    of strictly lower rank.
+
+#ifndef QPGC_GRAPH_TOPOLOGY_H_
+#define QPGC_GRAPH_TOPOLOGY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/condensation.h"
+#include "graph/graph.h"
+
+namespace qpgc {
+
+/// Sentinel for rb = -infinity (cyclic sink SCCs).
+inline constexpr int32_t kRankNegInf = INT32_MIN;
+
+/// Topological order of a DAG (every edge goes from an earlier to a later
+/// position). Aborts if the graph has a cycle — callers pass condensations.
+std::vector<NodeId> TopologicalOrder(const Graph& dag);
+
+/// Reverse topological order (children before parents).
+std::vector<NodeId> ReverseTopologicalOrder(const Graph& dag);
+
+/// The paper's topological rank r for every node of g (Section 5.1).
+std::vector<uint32_t> ReachTopoRanks(const Graph& g);
+
+/// Topological ranks computed directly on a condensation DAG (rank of each
+/// DAG node; used when the condensation is already available).
+std::vector<uint32_t> DagTopoRanks(const Graph& dag);
+
+/// Bisimulation ranks rb for every node of g (Section 5.2). Requires the
+/// condensation, which the caller typically already has.
+std::vector<int32_t> BisimRanks(const Graph& g);
+
+/// Same, but reusing a precomputed condensation of g.
+std::vector<int32_t> BisimRanksFromCondensation(const Condensation& cond);
+
+/// Well-foundedness per node: WF(v) iff v cannot reach any cycle.
+std::vector<uint8_t> WellFounded(const Graph& g);
+
+}  // namespace qpgc
+
+#endif  // QPGC_GRAPH_TOPOLOGY_H_

@@ -1,0 +1,84 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Graph traversals and reachability primitives. These are deliberately the
+// *unmodified, off-the-shelf* algorithms (BFS, bidirectional BFS, DFS): the
+// paper's central claim is that exactly these algorithms run on compressed
+// graphs as-is, so the same functions are used on G and on Gr throughout the
+// test suite and benchmarks.
+//
+// Path semantics: the paper defines reachability via paths, and its
+// equivalence relation only works under *non-empty* paths (len >= 1); see
+// DESIGN.md §2. `PathMode` makes the choice explicit.
+
+#ifndef QPGC_GRAPH_TRAVERSAL_H_
+#define QPGC_GRAPH_TRAVERSAL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/bitset.h"
+#include "util/common.h"
+
+namespace qpgc {
+
+/// Reachability path semantics.
+enum class PathMode {
+  /// v reaches w iff there is a path of length >= 0 (v reaches itself).
+  kReflexive,
+  /// v reaches w iff there is a path of length >= 1. QR(v, v) is true only
+  /// if v lies on a cycle.
+  kNonEmpty,
+};
+
+/// Traversal direction: follow out-edges or in-edges.
+enum class Direction { kForward, kBackward };
+
+/// Distance value for unreachable nodes.
+inline constexpr uint32_t kUnreachedDist = UINT32_MAX;
+/// "No bound" value for bounded traversals.
+inline constexpr uint32_t kUnboundedDepth = UINT32_MAX;
+
+/// Single-source BFS distances (reflexive: dist[source] = 0). Unreached
+/// nodes get kUnreachedDist.
+std::vector<uint32_t> BfsDistances(const Graph& g, NodeId source,
+                                   Direction dir = Direction::kForward);
+
+/// True iff u reaches v under the given path semantics (plain BFS — the
+/// paper's baseline evaluation algorithm).
+bool BfsReaches(const Graph& g, NodeId u, NodeId v,
+                PathMode mode = PathMode::kReflexive);
+
+/// True iff u reaches v, by bidirectional BFS (the paper's BIBFS).
+bool BidirectionalReaches(const Graph& g, NodeId u, NodeId v,
+                          PathMode mode = PathMode::kReflexive);
+
+/// True iff u reaches v, by iterative DFS (a third stock algorithm; used in
+/// tests to demonstrate algorithm-independence of the compression).
+bool DfsReaches(const Graph& g, NodeId u, NodeId v,
+                PathMode mode = PathMode::kReflexive);
+
+/// Marks every node x that has a *non-empty* path to some node in `sources`
+/// (Direction::kBackward) — or from some source (kForward) — of length at
+/// most `max_depth`. Sources are marked only if they lie on a suitable
+/// non-empty path (e.g. a cycle through another source).
+///
+/// This is the workhorse of the bounded-simulation matcher: one multi-source
+/// sweep decides "exists v' in S(u') with dist(v, v') <= k" for all v.
+Bitset BoundedMultiSourceReach(const Graph& g,
+                               std::span<const NodeId> sources,
+                               uint32_t max_depth, Direction dir);
+
+/// All nodes with a non-empty path from u (u's descendants), as a bitset.
+Bitset Descendants(const Graph& g, NodeId u);
+
+/// All nodes with a non-empty path to u (u's ancestors), as a bitset.
+Bitset Ancestors(const Graph& g, NodeId u);
+
+/// True iff node u lies on a cycle (including a self-loop).
+bool OnCycle(const Graph& g, NodeId u);
+
+}  // namespace qpgc
+
+#endif  // QPGC_GRAPH_TRAVERSAL_H_

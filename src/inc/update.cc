@@ -1,0 +1,35 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "inc/update.h"
+
+#include <map>
+
+namespace qpgc {
+
+UpdateBatch ApplyBatch(Graph& g, const UpdateBatch& batch) {
+  // Net effect per edge: the last effective operation wins; an edge that
+  // ends in its original state contributes nothing.
+  std::map<std::pair<NodeId, NodeId>, bool> original_present;
+  for (const auto& up : batch.updates) {
+    const auto key = std::make_pair(up.u, up.v);
+    original_present.try_emplace(key, g.HasEdge(up.u, up.v));
+    if (up.is_insert) {
+      g.AddEdge(up.u, up.v);
+    } else {
+      g.RemoveEdge(up.u, up.v);
+    }
+  }
+  UpdateBatch effective;
+  for (const auto& [key, was_present] : original_present) {
+    const bool now_present = g.HasEdge(key.first, key.second);
+    if (now_present == was_present) continue;  // no net change
+    if (now_present) {
+      effective.Insert(key.first, key.second);
+    } else {
+      effective.Delete(key.first, key.second);
+    }
+  }
+  return effective;
+}
+
+}  // namespace qpgc

@@ -1,0 +1,58 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Batch updates ΔG (Section 5): a list of edge insertions and deletions.
+// The incremental compression problem: given G, Gr = R(G) and ΔG, compute
+// ΔGr with Gr ⊕ ΔGr = R(G ⊕ ΔG) — without recompressing from scratch and
+// without decompressing Gr.
+
+#ifndef QPGC_INC_UPDATE_H_
+#define QPGC_INC_UPDATE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/common.h"
+
+namespace qpgc {
+
+/// A single edge insertion or deletion.
+struct EdgeUpdate {
+  bool is_insert = true;
+  NodeId u = 0;
+  NodeId v = 0;
+
+  static EdgeUpdate Insert(NodeId u, NodeId v) { return {true, u, v}; }
+  static EdgeUpdate Delete(NodeId u, NodeId v) { return {false, u, v}; }
+
+  bool operator==(const EdgeUpdate& o) const {
+    return is_insert == o.is_insert && u == o.u && v == o.v;
+  }
+};
+
+/// A batch ΔG of edge updates, applied in order.
+struct UpdateBatch {
+  std::vector<EdgeUpdate> updates;
+
+  void Insert(NodeId u, NodeId v) { updates.push_back(EdgeUpdate::Insert(u, v)); }
+  void Delete(NodeId u, NodeId v) { updates.push_back(EdgeUpdate::Delete(u, v)); }
+
+  size_t size() const { return updates.size(); }
+  bool empty() const { return updates.empty(); }
+  size_t NumInsertions() const {
+    size_t c = 0;
+    for (const auto& e : updates) c += e.is_insert;
+    return c;
+  }
+  size_t NumDeletions() const { return size() - NumInsertions(); }
+};
+
+/// Applies `batch` to g in order and returns the *effective* batch: no-op
+/// updates (inserting an existing edge, deleting a missing one, or pairs
+/// that cancel within the batch) are dropped. All incremental algorithms
+/// take the effective batch together with the post-update graph.
+UpdateBatch ApplyBatch(Graph& g, const UpdateBatch& batch);
+
+}  // namespace qpgc
+
+#endif  // QPGC_INC_UPDATE_H_

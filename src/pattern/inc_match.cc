@@ -1,0 +1,47 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "pattern/inc_match.h"
+
+#include <algorithm>
+
+#include "graph/traversal.h"
+#include "util/bitset.h"
+
+namespace qpgc {
+
+IncBMatch::IncBMatch(const Graph* g, PatternQuery q)
+    : g_(g), q_(std::move(q)), result_(Match(*g_, q_)) {}
+
+void IncBMatch::Update(const UpdateBatch& effective) {
+  if (effective.empty()) return;
+
+  std::vector<NodeId> inserted_sources;
+  for (const auto& up : effective.updates) {
+    if (up.is_insert) inserted_sources.push_back(up.u);
+  }
+
+  std::vector<std::vector<NodeId>> candidates = result_.fixpoint_sets;
+  if (!inserted_sources.empty()) {
+    // Backward cone of inserted sources in the updated graph, plus the
+    // sources themselves (a source can enter the match directly).
+    Bitset affected = BoundedMultiSourceReach(
+        *g_, inserted_sources, kUnboundedDepth, Direction::kBackward);
+    for (NodeId s : inserted_sources) affected.Set(s);
+
+    std::vector<NodeId> affected_nodes = affected.ToVector();
+    for (uint32_t u = 0; u < q_.num_nodes(); ++u) {
+      std::vector<NodeId> extra;
+      for (NodeId v : affected_nodes) {
+        if (g_->label(v) == q_.label(u)) extra.push_back(v);
+      }
+      std::vector<NodeId> merged;
+      merged.reserve(candidates[u].size() + extra.size());
+      std::set_union(candidates[u].begin(), candidates[u].end(), extra.begin(),
+                     extra.end(), std::back_inserter(merged));
+      candidates[u] = std::move(merged);
+    }
+  }
+  result_ = MatchFrom(*g_, q_, std::move(candidates));
+}
+
+}  // namespace qpgc

@@ -1,0 +1,54 @@
+// Copyright 2026 The QPGC Authors.
+//
+// IncBMatch: incremental maintenance of a bounded-simulation match under
+// batch edge updates (the paper's comparison point in Fig. 12(h), after
+// [9]). Semi-naive evaluation built on two exactness facts about the Match
+// fixpoint (see pattern/match.h):
+//
+//  * The pruning operator is monotone in the edge set, so after deletions
+//    the old fixpoint is a superset of the new one — a warm-started
+//    downward fixpoint from the old sets is exact and touches only what
+//    changed.
+//  * A node can *enter* the fixpoint after insertions only if some required
+//    path from it uses an inserted edge, i.e. only if it reaches an inserted
+//    edge's source in the updated graph. Warm-starting from
+//    (old fixpoint ∪ label-matching nodes in the backward cone of inserted
+//    sources) is therefore a superset of the new fixpoint — again exact.
+//
+// Cost grows with the affected region, approaching a full Match as ΔG
+// grows — exactly the crossover the paper reports.
+
+#ifndef QPGC_PATTERN_INC_MATCH_H_
+#define QPGC_PATTERN_INC_MATCH_H_
+
+#include "graph/graph.h"
+#include "inc/update.h"
+#include "pattern/match.h"
+#include "pattern/pattern.h"
+
+namespace qpgc {
+
+/// Maintains the maximum match of one pattern over an evolving graph.
+class IncBMatch {
+ public:
+  /// Computes the initial match of `q` in `g`. The graph is borrowed; the
+  /// caller mutates it via ApplyBatch and then calls Update with the
+  /// effective batch.
+  IncBMatch(const Graph* g, PatternQuery q);
+
+  /// Incrementally updates the match after `effective` has been applied to
+  /// the underlying graph.
+  void Update(const UpdateBatch& effective);
+
+  /// Current maximum match.
+  const MatchResult& result() const { return result_; }
+
+ private:
+  const Graph* g_;
+  PatternQuery q_;
+  MatchResult result_;
+};
+
+}  // namespace qpgc
+
+#endif  // QPGC_PATTERN_INC_MATCH_H_

@@ -1,0 +1,67 @@
+// Copyright 2026 The QPGC Authors.
+//
+// The Match algorithm for bounded simulation (Section 2.1 / [9]): computes
+// the unique maximum match S_M of a pattern Qp in a graph G (Lemma 1), or
+// reports that Qp does not match G.
+//
+// Algorithm: downward fixpoint on candidate sets. S(u) starts at all
+// label-matching nodes; a pattern edge (u, u') prunes from S(u) every node
+// that cannot reach a member of S(u') by a non-empty path of length <=
+// fe(u, u') (one bounded multi-source backward BFS per re-check). A worklist
+// over pattern edges re-checks an edge only when its target set shrank.
+// The pruning operator is monotone, so iterating from any superset of the
+// greatest fixpoint converges exactly to it — which is what makes warm
+// starts (incremental matching, pattern/inc_match.h) exact as well.
+
+#ifndef QPGC_PATTERN_MATCH_H_
+#define QPGC_PATTERN_MATCH_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "pattern/pattern.h"
+
+namespace qpgc {
+
+/// The maximum match of a pattern in a graph.
+struct MatchResult {
+  /// True iff Qp matches G (every pattern node has candidates in the
+  /// greatest fixpoint).
+  bool matched = false;
+  /// match_sets[u] = sorted data nodes v with (u, v) in the maximum match.
+  /// Empty everywhere when matched == false (the paper defines the answer as
+  /// the empty set then).
+  std::vector<std::vector<NodeId>> match_sets;
+  /// The greatest fixpoint itself, regardless of the emptiness rule. This is
+  /// what incremental maintenance warm-starts from.
+  std::vector<std::vector<NodeId>> fixpoint_sets;
+
+  /// Total number of (u, v) pairs in the answer.
+  size_t TotalPairs() const {
+    size_t total = 0;
+    for (const auto& s : match_sets) total += s.size();
+    return total;
+  }
+
+  bool operator==(const MatchResult& o) const {
+    return matched == o.matched && match_sets == o.match_sets;
+  }
+};
+
+/// Computes the maximum match of q in g.
+MatchResult Match(const Graph& g, const PatternQuery& q);
+
+/// Computes the greatest fixpoint starting from the given candidate sets,
+/// which must each be a superset of the true fixpoint (and a subset of the
+/// label-matching nodes). Used by Match (label candidates) and by
+/// IncBMatch (warm starts). Sets must be sorted.
+MatchResult MatchFrom(const Graph& g, const PatternQuery& q,
+                      std::vector<std::vector<NodeId>> candidates);
+
+/// True iff q matches g (Boolean pattern query; no post-processing needed on
+/// compressed graphs).
+bool BooleanMatch(const Graph& g, const PatternQuery& q);
+
+}  // namespace qpgc
+
+#endif  // QPGC_PATTERN_MATCH_H_

@@ -1,0 +1,26 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "pattern/pattern.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace qpgc {
+
+std::string PatternQuery::DebugString() const {
+  uint32_t max_bound = 0;
+  bool has_star = false;
+  for (const auto& e : edges_) {
+    if (e.bound == kStarBound) {
+      has_star = true;
+    } else {
+      max_bound = std::max(max_bound, e.bound);
+    }
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "Pattern(|Vp|=%zu, |Ep|=%zu, k<=%u%s)",
+                num_nodes(), num_edges(), max_bound, has_star ? ", *" : "");
+  return std::string(buf);
+}
+
+}  // namespace qpgc

@@ -1,0 +1,79 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Graph pattern queries via (bounded) simulation, as defined in Section 2.1
+// (after Fan et al., PVLDB 2010). A pattern Qp = (Vp, Ep, fv, fe):
+//   * each pattern node u carries a label fv(u) that a data node must match;
+//   * each pattern edge (u, u') carries a bound fe: a positive integer k
+//     (mapped to a non-empty path of length <= k) or * (any non-empty path).
+// Graph simulation [12] is the special case with every bound equal to 1.
+
+#ifndef QPGC_PATTERN_PATTERN_H_
+#define QPGC_PATTERN_PATTERN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace qpgc {
+
+/// Bound value representing '*' (unbounded path length).
+inline constexpr uint32_t kStarBound = UINT32_MAX;
+
+/// A pattern edge (from, to) with its bound fe(from, to).
+struct PatternEdge {
+  uint32_t from = 0;
+  uint32_t to = 0;
+  uint32_t bound = 1;  // k >= 1, or kStarBound
+};
+
+/// A graph pattern query Qp = (Vp, Ep, fv, fe).
+class PatternQuery {
+ public:
+  PatternQuery() = default;
+
+  /// Adds a pattern node with search condition `label`; returns its id.
+  uint32_t AddNode(Label label) {
+    labels_.push_back(label);
+    out_.emplace_back();
+    return static_cast<uint32_t>(labels_.size() - 1);
+  }
+
+  /// Adds a pattern edge with bound k (or kStarBound).
+  void AddEdge(uint32_t from, uint32_t to, uint32_t bound) {
+    QPGC_CHECK(from < labels_.size() && to < labels_.size());
+    QPGC_CHECK(bound >= 1);
+    const uint32_t id = static_cast<uint32_t>(edges_.size());
+    edges_.push_back(PatternEdge{from, to, bound});
+    out_[from].push_back(id);
+  }
+
+  size_t num_nodes() const { return labels_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+  Label label(uint32_t u) const { return labels_[u]; }
+  const PatternEdge& edge(uint32_t e) const { return edges_[e]; }
+  const std::vector<PatternEdge>& edges() const { return edges_; }
+  /// Ids of edges leaving pattern node u.
+  const std::vector<uint32_t>& out_edges(uint32_t u) const { return out_[u]; }
+
+  /// True iff every bound is 1 (plain graph simulation [12]).
+  bool IsSimulationPattern() const {
+    for (const auto& e : edges_) {
+      if (e.bound != 1) return false;
+    }
+    return true;
+  }
+
+  /// One-line description, e.g. "Pattern(|Vp|=3, |Ep|=3, k<=2)".
+  std::string DebugString() const;
+
+ private:
+  std::vector<Label> labels_;
+  std::vector<PatternEdge> edges_;
+  std::vector<std::vector<uint32_t>> out_;  // node -> out edge ids
+};
+
+}  // namespace qpgc
+
+#endif  // QPGC_PATTERN_PATTERN_H_

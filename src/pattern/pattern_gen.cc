@@ -1,0 +1,61 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "pattern/pattern_gen.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace qpgc {
+
+std::vector<Label> DistinctLabels(const Graph& g) {
+  std::unordered_set<Label> seen(g.labels().begin(), g.labels().end());
+  std::vector<Label> labels(seen.begin(), seen.end());
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+PatternQuery RandomPattern(const std::vector<Label>& labels,
+                           const PatternGenOptions& options, uint64_t seed) {
+  QPGC_CHECK(!labels.empty());
+  QPGC_CHECK(options.num_nodes >= 1);
+  Rng rng(seed);
+  PatternQuery q;
+  for (uint32_t u = 0; u < options.num_nodes; ++u) {
+    q.AddNode(labels[rng.Uniform(labels.size())]);
+  }
+
+  const auto draw_bound = [&]() -> uint32_t {
+    if (rng.Chance(options.star_probability)) return kStarBound;
+    return static_cast<uint32_t>(rng.UniformInt(1, options.max_bound));
+  };
+
+  std::set<std::pair<uint32_t, uint32_t>> used;
+  // Spanning structure first: connect node i to a random earlier node, in a
+  // random direction, so the pattern is weakly connected.
+  for (uint32_t i = 1; i < options.num_nodes && q.num_edges() < options.num_edges;
+       ++i) {
+    const uint32_t other = static_cast<uint32_t>(rng.Uniform(i));
+    const bool outward = rng.Chance(0.5);
+    const uint32_t from = outward ? other : i;
+    const uint32_t to = outward ? i : other;
+    if (used.insert({from, to}).second) q.AddEdge(from, to, draw_bound());
+  }
+  // Remaining edges uniformly among distinct ordered pairs.
+  const uint64_t max_pairs =
+      static_cast<uint64_t>(options.num_nodes) * (options.num_nodes - 1);
+  size_t guard = 0;
+  while (q.num_edges() < options.num_edges && used.size() < max_pairs &&
+         guard < 100000) {
+    ++guard;
+    const uint32_t from = static_cast<uint32_t>(rng.Uniform(options.num_nodes));
+    const uint32_t to = static_cast<uint32_t>(rng.Uniform(options.num_nodes));
+    if (from == to) continue;
+    if (used.insert({from, to}).second) q.AddEdge(from, to, draw_bound());
+  }
+  return q;
+}
+
+}  // namespace qpgc

@@ -1,0 +1,43 @@
+// Copyright 2026 The QPGC Authors.
+//
+// The paper's pattern generator (Section 6, "Pattern generator"): patterns
+// controlled by the number of nodes Vp, number of edges Ep, a label
+// alphabet Lp drawn like the data graph's, and an upper bound k on edge
+// constraints. Patterns are generated weakly connected so that every query
+// node constrains the match.
+
+#ifndef QPGC_PATTERN_PATTERN_GEN_H_
+#define QPGC_PATTERN_PATTERN_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "pattern/pattern.h"
+
+namespace qpgc {
+
+/// Parameters for random pattern generation.
+struct PatternGenOptions {
+  /// Number of pattern nodes Vp.
+  uint32_t num_nodes = 4;
+  /// Number of pattern edges Ep (>= num_nodes - 1 to allow connectivity).
+  uint32_t num_edges = 4;
+  /// Upper bound for finite edge constraints (fe drawn from [1, max_bound]).
+  uint32_t max_bound = 3;
+  /// Probability that an edge gets bound '*' instead of a finite bound.
+  double star_probability = 0.0;
+};
+
+/// Generates a random weakly-connected pattern. Labels are drawn from
+/// `labels` (typically the distinct labels of the data graph, so patterns
+/// have matching candidates).
+PatternQuery RandomPattern(const std::vector<Label>& labels,
+                           const PatternGenOptions& options, uint64_t seed);
+
+/// Distinct labels of a graph (helper for RandomPattern).
+std::vector<Label> DistinctLabels(const Graph& g);
+
+}  // namespace qpgc
+
+#endif  // QPGC_PATTERN_PATTERN_GEN_H_

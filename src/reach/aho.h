@@ -1,0 +1,28 @@
+// Copyright 2026 The QPGC Authors.
+//
+// The AHO baseline of the paper's experiments (Table 1, RCaho): the
+// transitive reduction of a general digraph after Aho, Garey & Ullman
+// (SICOMP 1972). Unlike compressR it keeps *all* nodes:
+//   * every strongly connected component of size k > 1 is replaced by a
+//     simple cycle through its k nodes;
+//   * a singleton SCC keeps its self-loop if it had one;
+//   * edges between components are replaced by one representative edge per
+//     condensation edge, then transitively reduced on the DAG.
+// The result has the same transitive closure as G and is a subgraph-sized
+// graph (|V| unchanged), which is exactly why compressR beats it: merging
+// equivalent nodes into hypernodes removes nodes *and* further edges.
+
+#ifndef QPGC_REACH_AHO_H_
+#define QPGC_REACH_AHO_H_
+
+#include "graph/graph.h"
+
+namespace qpgc {
+
+/// Computes the Aho-Garey-Ullman transitive reduction of g (same node set,
+/// same transitive closure, minimal edges).
+Graph AhoTransitiveReduction(const Graph& g);
+
+}  // namespace qpgc
+
+#endif  // QPGC_REACH_AHO_H_

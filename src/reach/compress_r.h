@@ -1,0 +1,80 @@
+// Copyright 2026 The QPGC Authors.
+//
+// compressR (Section 3.2): the reachability preserving compression function
+// R. Pipeline: SCC condensation (the paper's optimization) -> reachability
+// equivalence classes -> quotient graph -> unique transitive reduction of
+// the class DAG (the paper's lines 6-8 insert no redundant edge).
+//
+// The artifact bundles everything <R, F> needs at query time: the compressed
+// graph Gr, the node map R(v) = [v]_Re (for F, O(1) rewriting), the inverse
+// member index, per-class cyclic flags (non-empty self-reachability), and
+// topological ranks (maintained by incRCM; Lemma 7).
+
+#ifndef QPGC_REACH_COMPRESS_R_H_
+#define QPGC_REACH_COMPRESS_R_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "reach/equivalence.h"
+
+namespace qpgc {
+
+/// Options for compressR.
+struct CompressROptions {
+  /// Column-block width for the blocked closure refinement.
+  size_t block_cols = 8192;
+  /// Apply the transitive reduction to the class DAG (the paper does; turn
+  /// off to study its effect — see bench/ ablation).
+  bool transitive_reduction = true;
+};
+
+/// The reachability preserving compression of a graph.
+struct ReachCompression {
+  /// The compressed graph Gr. Nodes are equivalence classes; cyclic classes
+  /// carry a self-loop. All labels are a fixed sigma (kNoLabel) — labels are
+  /// irrelevant to reachability (paper, Section 3.1).
+  Graph gr;
+  /// The unreduced quotient (same nodes as gr, all class-level edges before
+  /// transitive reduction). Queries never need it; incRCM does: frozen
+  /// classes contribute these edge-faithful edges to the hybrid graph, so
+  /// that refreshing one class's edges can never hide another's direct
+  /// link. May accumulate closure-preserving phantom edges across
+  /// incremental updates; the reduced gr stays exact regardless (the
+  /// reduction is a function of the closure, which is maintained exactly).
+  Graph quotient;
+  /// node_map[v] = R(v), the Gr-node of original node v.
+  std::vector<NodeId> node_map;
+  /// members[c] = original nodes represented by Gr-node c.
+  std::vector<std::vector<NodeId>> members;
+  /// cyclic[c] = 1 iff class c is a cyclic SCC of G.
+  std::vector<uint8_t> cyclic;
+  /// Topological rank r of every Gr node (Section 5.1).
+  std::vector<uint32_t> ranks;
+  /// |V| of the graph this was computed from.
+  size_t original_num_nodes = 0;
+  /// |G| = |V| + |E| of the original (for compression-ratio reporting).
+  size_t original_size = 0;
+
+  /// |Gr| = |Vr| + |Er| (the paper's size measure).
+  size_t size() const { return gr.size(); }
+  /// Compression ratio RCr = |Gr| / |G|.
+  double CompressionRatio() const {
+    return original_size == 0
+               ? 1.0
+               : static_cast<double>(size()) /
+                     static_cast<double>(original_size);
+  }
+  /// Heap bytes of the artifact (Gr + node map + member index).
+  size_t MemoryBytes() const;
+};
+
+/// Computes Gr = R(G). Exact; equivalent to the paper's quadratic algorithm
+/// but runs on the condensation with blocked bitsets.
+ReachCompression CompressR(const Graph& g, const CompressROptions& options = {});
+
+}  // namespace qpgc
+
+#endif  // QPGC_REACH_COMPRESS_R_H_

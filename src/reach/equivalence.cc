@@ -1,0 +1,159 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "reach/equivalence.h"
+
+#include <algorithm>
+#include <string_view>
+#include <unordered_map>
+
+#include "graph/closure.h"
+#include "graph/condensation.h"
+#include "graph/topology.h"
+#include "util/bitset.h"
+#include "util/hash.h"
+
+namespace qpgc {
+
+namespace {
+
+// Key for refinement: (current class, exact row bytes). Keying on the exact
+// bytes (not a hash of them) guarantees no two distinct profiles ever land in
+// the same class.
+struct RefineKey {
+  NodeId cls;
+  std::string_view bytes;
+  bool operator==(const RefineKey& o) const {
+    return cls == o.cls && bytes == o.bytes;
+  }
+};
+struct RefineKeyHash {
+  size_t operator()(const RefineKey& k) const {
+    return static_cast<size_t>(
+        HashCombine(Mix64(k.cls), HashBytes(k.bytes)));
+  }
+};
+
+// One refinement pass: splits every current class by the content of `rows`.
+// `cls` is updated in place; returns the new class count.
+size_t RefineByRows(const BitMatrix& rows, std::vector<NodeId>& cls) {
+  std::unordered_map<RefineKey, NodeId, RefineKeyHash> remap;
+  remap.reserve(cls.size());
+  std::vector<NodeId> next(cls.size());
+  NodeId next_id = 0;
+  for (size_t v = 0; v < cls.size(); ++v) {
+    const RefineKey key{cls[v], rows.RowBytes(v)};
+    const auto [it, inserted] = remap.try_emplace(key, next_id);
+    if (inserted) ++next_id;
+    next[v] = it->second;
+  }
+  cls.swap(next);
+  return next_id;
+}
+
+// Groups DAG nodes by augmented ancestor AND descendant profiles.
+std::vector<NodeId> PartitionDagNodes(const Graph& dag,
+                                      const std::vector<uint8_t>& cyclic,
+                                      size_t block_cols) {
+  const size_t n = dag.num_nodes();
+  std::vector<NodeId> cls(n, 0);
+  if (n == 0) return cls;
+  block_cols = std::min(block_cols, n);
+
+  const std::vector<NodeId> rev_topo = ReverseTopologicalOrder(dag);
+  const std::vector<NodeId> topo = TopologicalOrder(dag);
+
+  BitMatrix block(n, block_cols);
+  for (int pass = 0; pass < 2; ++pass) {
+    const Direction dir = pass == 0 ? Direction::kForward : Direction::kBackward;
+    const std::vector<NodeId>& order = pass == 0 ? rev_topo : topo;
+    for (size_t start = 0; start < n; start += block_cols) {
+      const size_t cols = std::min(block_cols, n - start);
+      if (cols != block.cols()) block = BitMatrix(n, cols);
+      BlockDescendants(dag, order, cyclic, start, cols, dir, block);
+      RefineByRows(block, cls);
+    }
+  }
+  return cls;
+}
+
+// Renumbers classes to be dense in order of first appearance and expands a
+// per-DAG-node partition to original nodes via the SCC map.
+ReachPartition ExpandToNodes(const Graph& g, const Condensation& cond,
+                             const std::vector<NodeId>& dag_cls) {
+  ReachPartition part;
+  const size_t n = g.num_nodes();
+  part.class_of.assign(n, kInvalidNode);
+
+  std::vector<NodeId> dense(cond.scc.num_components, kInvalidNode);
+  // First appearance in original-node order gives deterministic ids.
+  NodeId next_id = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId dag_node = cond.scc.component[v];
+    NodeId& d = dense[dag_cls[dag_node]];
+    if (d == kInvalidNode) d = next_id++;
+    part.class_of[v] = d;
+  }
+  part.num_classes = next_id;
+  part.members.assign(next_id, {});
+  part.cyclic.assign(next_id, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId c = part.class_of[v];
+    part.members[c].push_back(v);
+    if (cond.scc.cyclic[cond.scc.component[v]]) part.cyclic[c] = 1;
+  }
+  return part;
+}
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> ReachPartition::CanonicalClasses() const {
+  std::vector<std::vector<NodeId>> classes = members;
+  std::sort(classes.begin(), classes.end());
+  return classes;
+}
+
+ReachPartition ComputeReachEquivalence(const Graph& g, size_t block_cols) {
+  const Condensation cond = BuildCondensation(g);
+  std::vector<uint8_t> cyclic(cond.scc.cyclic.begin(), cond.scc.cyclic.end());
+  const std::vector<NodeId> dag_cls =
+      PartitionDagNodes(cond.dag, cyclic, block_cols);
+  return ExpandToNodes(g, cond, dag_cls);
+}
+
+ReachPartition ComputeReachEquivalenceRef(const Graph& g) {
+  const size_t n = g.num_nodes();
+  // Non-empty-path closures in both directions; a node on a cycle naturally
+  // appears in its own row, matching the augmented definition.
+  const BitMatrix desc = FullClosure(g, Direction::kForward);
+  const BitMatrix anc = FullClosure(g, Direction::kBackward);
+
+  std::vector<NodeId> cls(n, 0);
+  if (n > 0) {
+    RefineByRows(desc, cls);
+    RefineByRows(anc, cls);
+  }
+
+  ReachPartition part;
+  part.class_of.assign(n, kInvalidNode);
+  std::vector<NodeId> dense;
+  NodeId next_id = 0;
+  {
+    std::vector<NodeId> remap(n, kInvalidNode);
+    for (NodeId v = 0; v < n; ++v) {
+      NodeId& d = remap[cls[v]];
+      if (d == kInvalidNode) d = next_id++;
+      part.class_of[v] = d;
+    }
+  }
+  part.num_classes = next_id;
+  part.members.assign(next_id, {});
+  part.cyclic.assign(next_id, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId c = part.class_of[v];
+    part.members[c].push_back(v);
+    if (desc.Test(v, v)) part.cyclic[c] = 1;  // on a cycle
+  }
+  return part;
+}
+
+}  // namespace qpgc

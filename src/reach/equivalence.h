@@ -1,0 +1,60 @@
+// Copyright 2026 The QPGC Authors.
+//
+// The reachability equivalence relation Re of Section 3.1: (u, v) in Re iff
+// u and v have the same ancestors and the same descendants, where ancestor/
+// descendant sets are taken over *non-empty* paths (Example 2 of the paper
+// requires this: BSA1 ~ BSA2 although neither reaches the other; under
+// reflexive semantics Re would degenerate to SCC equality).
+//
+// Structure theorem (used by the fast algorithm; property-tested):
+//   Every Re-class is either (a) exactly one cyclic SCC, or (b) a set of
+//   trivial (acyclic) SCC nodes with equal "augmented" ancestor/descendant
+//   sets on the condensation DAG, where augmentation seeds a cyclic node's
+//   own bit.
+//   Proof sketch for (a): if u lies on a cycle then u ∈ desc(u) = desc(v)
+//   and u ∈ anc(u) = anc(v), so u and v reach each other — same SCC.
+//
+// Two implementations:
+//  * ComputeReachEquivalence — condensation + exact partition refinement on
+//    blocked descendant/ancestor bitsets (refinement keys on raw row bytes,
+//    so no hash-collision risk). O(|E_dag| * |V_dag| / 64) word ops with
+//    O(|V_dag| * block_cols / 8) working memory.
+//  * ComputeReachEquivalenceRef — the paper's own O(|V|(|V| + |E|)) method
+//    (per-node BFS for ancestor and descendant sets), used as ground truth.
+
+#ifndef QPGC_REACH_EQUIVALENCE_H_
+#define QPGC_REACH_EQUIVALENCE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace qpgc {
+
+/// A partition of V into reachability equivalence classes.
+struct ReachPartition {
+  /// class_of[v] = equivalence class of node v.
+  std::vector<NodeId> class_of;
+  /// Number of classes.
+  size_t num_classes = 0;
+  /// members[c] = nodes of class c, ascending.
+  std::vector<std::vector<NodeId>> members;
+  /// cyclic[c] = 1 iff the members of c lie on cycles (then c is one SCC).
+  std::vector<uint8_t> cyclic;
+
+  /// Canonical form for equality checks in tests: classes sorted by their
+  /// smallest member.
+  std::vector<std::vector<NodeId>> CanonicalClasses() const;
+};
+
+/// Fast exact computation (condensation + blocked refinement).
+ReachPartition ComputeReachEquivalence(const Graph& g,
+                                       size_t block_cols = 8192);
+
+/// Reference computation (the paper's per-node BFS algorithm).
+ReachPartition ComputeReachEquivalenceRef(const Graph& g);
+
+}  // namespace qpgc
+
+#endif  // QPGC_REACH_EQUIVALENCE_H_

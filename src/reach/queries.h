@@ -1,0 +1,57 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Reachability queries QR(v, w) and the rewriting function F of Section 3.1.
+//
+// F is O(1): it maps node ids through the class map, F(QR(v, w)) =
+// QR(R(v), R(w)). Evaluation on Gr uses any stock algorithm (BFS, BiBFS,
+// DFS) unchanged; the only semantic care is the diagonal: under reflexive
+// semantics QR(v, v) is trivially true, and under non-empty semantics the
+// compressed graph answers it through the self-loop on cyclic classes.
+// No post-processing P is needed (Theorem 2).
+
+#ifndef QPGC_REACH_QUERIES_H_
+#define QPGC_REACH_QUERIES_H_
+
+#include <vector>
+
+#include "graph/traversal.h"
+#include "reach/compress_r.h"
+
+namespace qpgc {
+
+/// A reachability query QR(u, v) on the original graph.
+struct ReachQuery {
+  NodeId u = 0;
+  NodeId v = 0;
+};
+
+/// The same query rewritten onto Gr: QR(R(u), R(v)).
+struct RewrittenReachQuery {
+  NodeId u = 0;
+  NodeId v = 0;
+};
+
+/// Stock evaluation algorithms — the exact same code runs on G and on Gr.
+enum class ReachAlgorithm { kBfs, kBiBfs, kDfs };
+
+/// Evaluates a reachability query on any graph with the chosen algorithm.
+bool EvalReach(const Graph& g, NodeId u, NodeId v, PathMode mode,
+               ReachAlgorithm algo);
+
+/// The rewriting function F: O(1) node-map lookups.
+RewrittenReachQuery RewriteReachQuery(const ReachCompression& rc,
+                                      const ReachQuery& q);
+
+/// Answers QR(u, v) on the compressed graph: rewrite with F, then run the
+/// stock algorithm on Gr. Exact for both path modes (Theorem 2).
+bool AnswerOnCompressed(const ReachCompression& rc, const ReachQuery& q,
+                        PathMode mode, ReachAlgorithm algo);
+
+/// Generates `count` random query pairs over n nodes (the paper evaluates on
+/// randomly selected node pairs).
+std::vector<ReachQuery> RandomReachQueries(size_t n, size_t count,
+                                           uint64_t seed);
+
+}  // namespace qpgc
+
+#endif  // QPGC_REACH_QUERIES_H_

@@ -1,0 +1,9 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Bitset and BitMatrix are header-only; this translation unit exists to give
+// the build a home for future out-of-line helpers and to keep one .cc per
+// header in the module layout.
+
+#include "util/bitset.h"
+
+namespace qpgc {}  // namespace qpgc

@@ -1,0 +1,59 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Basic shared definitions: integral node/edge id types and lightweight
+// invariant-checking macros. The library does not throw exceptions; fatal
+// invariant violations abort with a diagnostic (kept in release builds, as
+// they guard algorithmic correctness rather than user input).
+
+#ifndef QPGC_UTIL_COMMON_H_
+#define QPGC_UTIL_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace qpgc {
+
+/// Node identifier within a graph. Dense, 0-based.
+using NodeId = uint32_t;
+/// Edge identifier (index into an edge array). Dense, 0-based.
+using EdgeId = uint64_t;
+/// Node label. Labels are small dense integers; a `LabelTable` can map them
+/// to/from strings at the I/O boundary.
+using Label = uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+/// Sentinel for "no label". Graphs without labels use kNoLabel everywhere.
+inline constexpr Label kNoLabel = std::numeric_limits<Label>::max();
+
+namespace internal {
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "QPGC_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+}  // namespace internal
+
+/// Invariant check that stays on in release builds. Use for algorithmic
+/// invariants whose violation would silently corrupt results.
+#define QPGC_CHECK(expr)                                        \
+  do {                                                          \
+    if (!(expr)) {                                              \
+      ::qpgc::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                           \
+  } while (0)
+
+/// Debug-only check for hot paths.
+#ifndef NDEBUG
+#define QPGC_DCHECK(expr) QPGC_CHECK(expr)
+#else
+#define QPGC_DCHECK(expr) \
+  do {                    \
+  } while (0)
+#endif
+
+}  // namespace qpgc
+
+#endif  // QPGC_UTIL_COMMON_H_

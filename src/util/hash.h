@@ -1,0 +1,67 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Hashing helpers: 64-bit mixing, hash combining, and hashing of byte ranges.
+// Partition refinement in reach/ and bisim/ keys hash tables on *exact* byte
+// content (std::string_view) so hash collisions can never merge distinct
+// classes; these helpers only accelerate the table lookups.
+
+#ifndef QPGC_UTIL_HASH_H_
+#define QPGC_UTIL_HASH_H_
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace qpgc {
+
+/// Strong 64-bit mix (SplitMix64 finalizer).
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Combines a hash with a new value, boost-style but 64-bit.
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return seed ^ (Mix64(v) + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2));
+}
+
+/// FNV-1a over raw bytes.
+inline uint64_t HashBytes(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Hash functor for pair keys in unordered containers.
+struct PairHash {
+  template <typename A, typename B>
+  size_t operator()(const std::pair<A, B>& p) const {
+    return static_cast<size_t>(
+        HashCombine(Mix64(static_cast<uint64_t>(p.first)),
+                    static_cast<uint64_t>(p.second)));
+  }
+};
+
+/// Hash functor for small integer vectors (e.g. sorted successor-block ids in
+/// bisimulation signatures).
+struct VectorHash {
+  template <typename T>
+  size_t operator()(const std::vector<T>& v) const {
+    uint64_t h = 0x9e3779b97f4a7c15ull ^ v.size();
+    for (const T& x : v) h = HashCombine(h, static_cast<uint64_t>(x));
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace qpgc
+
+#endif  // QPGC_UTIL_HASH_H_

@@ -1,0 +1,24 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "util/memory.h"
+
+#include <cstdio>
+
+namespace qpgc {
+
+std::string FormatBytes(size_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (bytes >= (size_t{1} << 30)) {
+    std::snprintf(buf, sizeof(buf), "%.2fGB", b / (1ull << 30));
+  } else if (bytes >= (size_t{1} << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.2fMB", b / (1ull << 20));
+  } else if (bytes >= (size_t{1} << 10)) {
+    std::snprintf(buf, sizeof(buf), "%.2fKB", b / (1ull << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zuB", bytes);
+  }
+  return std::string(buf);
+}
+
+}  // namespace qpgc

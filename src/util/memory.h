@@ -1,0 +1,35 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Memory accounting for the Fig. 12(d) experiment: report the resident bytes
+// of a graph representation or an index, computed analytically from container
+// capacities (deterministic, allocator-independent).
+
+#ifndef QPGC_UTIL_MEMORY_H_
+#define QPGC_UTIL_MEMORY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace qpgc {
+
+/// Heap bytes held by a vector (capacity-based).
+template <typename T>
+size_t VectorBytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+/// Heap bytes held by a vector of vectors.
+template <typename T>
+size_t NestedVectorBytes(const std::vector<std::vector<T>>& v) {
+  size_t total = v.capacity() * sizeof(std::vector<T>);
+  for (const auto& inner : v) total += inner.capacity() * sizeof(T);
+  return total;
+}
+
+/// Pretty-prints a byte count as B / KB / MB / GB with two decimals.
+std::string FormatBytes(size_t bytes);
+
+}  // namespace qpgc
+
+#endif  // QPGC_UTIL_MEMORY_H_

@@ -1,0 +1,80 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Deterministic, seedable random number generation for the synthetic graph
+// generators and workload generators. All experiments in the paper harness
+// are reproducible given a seed; we avoid std::mt19937 to keep cross-platform
+// determinism and speed.
+
+#ifndef QPGC_UTIL_RNG_H_
+#define QPGC_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+
+namespace qpgc {
+
+/// xoshiro256** PRNG seeded via SplitMix64. Fast, high quality, deterministic
+/// across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { Seed(seed); }
+
+  /// Re-seeds the generator deterministically.
+  void Seed(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound) for bound > 0 (Lemire's unbiased method).
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Bernoulli trial with success probability p.
+  bool Chance(double p) { return UniformDouble() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(Uniform(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Picks a uniformly random element. Vector must be non-empty.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    QPGC_DCHECK(!v.empty());
+    return v[static_cast<size_t>(Uniform(v.size()))];
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipf-distributed sampler over {0, 1, ..., n-1} with exponent `s`.
+/// Rank 0 is the most frequent value. Used for label assignment (real-life
+/// label distributions are heavy-tailed) and preferential workloads.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s);
+
+  /// Samples one value in [0, n).
+  size_t Sample(Rng& rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cumulative probabilities, cdf_.back() == 1.0
+};
+
+}  // namespace qpgc
+
+#endif  // QPGC_UTIL_RNG_H_

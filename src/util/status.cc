@@ -1,0 +1,30 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "util/status.h"
+
+namespace qpgc {
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  const char* name = "UNKNOWN";
+  switch (code_) {
+    case StatusCode::kOk:
+      name = "OK";
+      break;
+    case StatusCode::kInvalidArgument:
+      name = "INVALID_ARGUMENT";
+      break;
+    case StatusCode::kNotFound:
+      name = "NOT_FOUND";
+      break;
+    case StatusCode::kIoError:
+      name = "IO_ERROR";
+      break;
+    case StatusCode::kCorruptData:
+      name = "CORRUPT_DATA";
+      break;
+  }
+  return std::string(name) + ": " + message_;
+}
+
+}  // namespace qpgc

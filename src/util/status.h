@@ -1,0 +1,91 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Minimal Status/Result types for fallible operations at the I/O boundary
+// (file loading, parsing). The algorithmic core never fails; it checks its
+// invariants with QPGC_CHECK instead.
+
+#ifndef QPGC_UTIL_STATUS_H_
+#define QPGC_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/common.h"
+
+namespace qpgc {
+
+/// Error category for Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kCorruptData,
+};
+
+/// Result of a fallible operation: a code plus a human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status IoError(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
+  static Status CorruptData(std::string m) {
+    return Status(StatusCode::kCorruptData, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value or an error Status. Minimal StatusOr.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {      // NOLINT
+    QPGC_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    QPGC_CHECK(status_.ok());
+    return value_;
+  }
+  T& value() & {
+    QPGC_CHECK(status_.ok());
+    return value_;
+  }
+  T&& value() && {
+    QPGC_CHECK(status_.ok());
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace qpgc
+
+#endif  // QPGC_UTIL_STATUS_H_

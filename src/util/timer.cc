@@ -1,0 +1,5 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "util/timer.h"
+
+namespace qpgc {}  // namespace qpgc

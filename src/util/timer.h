@@ -1,0 +1,39 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Wall-clock timing for the benchmark harness.
+
+#ifndef QPGC_UTIL_TIMER_H_
+#define QPGC_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace qpgc {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Restart, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace qpgc
+
+#endif  // QPGC_UTIL_TIMER_H_

@@ -1,0 +1,75 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "reach/aho.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/uniform.h"
+#include "graph/closure.h"
+#include "reach/compress_r.h"
+
+namespace qpgc {
+namespace {
+
+TEST(AhoTest, KeepsAllNodes) {
+  const Graph g = GenerateUniform(80, 300, 1, 21);
+  const Graph r = AhoTransitiveReduction(g);
+  EXPECT_EQ(r.num_nodes(), g.num_nodes());
+  EXPECT_LE(r.num_edges(), g.num_edges());
+}
+
+TEST(AhoTest, SccBecomesSimpleCycle) {
+  // Complete digraph on 4 nodes: one SCC, reduced to a 4-cycle.
+  Graph g(4);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = 0; v < 4; ++v) {
+      if (u != v) g.AddEdge(u, v);
+    }
+  }
+  const Graph r = AhoTransitiveReduction(g);
+  EXPECT_EQ(r.num_edges(), 4u);
+}
+
+TEST(AhoTest, SelfLoopSingletonKept) {
+  Graph g(2);
+  g.AddEdge(0, 0);
+  g.AddEdge(0, 1);
+  const Graph r = AhoTransitiveReduction(g);
+  EXPECT_TRUE(r.HasEdge(0, 0));
+  EXPECT_TRUE(r.HasEdge(0, 1));
+}
+
+class AhoClosureTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AhoClosureTest, PreservesTransitiveClosure) {
+  const uint64_t seed = GetParam();
+  const Graph g = GenerateUniform(60, 60 + (seed * 53) % 300, 1, seed);
+  const Graph r = AhoTransitiveReduction(g);
+  const BitMatrix before = FullClosure(g);
+  const BitMatrix after = FullClosure(r);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(before.Test(u, v), after.Test(u, v))
+          << "seed=" << seed << " (" << u << "," << v << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AhoClosureTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+TEST(AhoTest, CompressRBeatsAhoOnMergeableGraphs) {
+  // compressR merges equivalent nodes; AHO cannot. On a graph with heavy
+  // sibling redundancy compressR must win (the paper's Table 1 ordering
+  // RCr < RCaho).
+  Graph g(22);
+  for (NodeId hub : {0, 1}) {
+    for (NodeId leaf = 2; leaf < 22; ++leaf) g.AddEdge(hub, leaf);
+  }
+  const Graph aho = AhoTransitiveReduction(g);
+  const ReachCompression rc = CompressR(g);
+  EXPECT_LT(rc.size(), aho.size());
+}
+
+}  // namespace
+}  // namespace qpgc

@@ -1,0 +1,129 @@
+// Copyright 2026 The QPGC Authors.
+
+#include <gtest/gtest.h>
+
+#include "bisim/ranked_bisim.h"
+#include "bisim/signature_bisim.h"
+#include "gen/random_models.h"
+#include "gen/uniform.h"
+
+namespace qpgc {
+namespace {
+
+TEST(BisimTest, LeavesWithSameLabelMerge) {
+  Graph g(std::vector<Label>{1, 2, 2, 2});
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 3);
+  const Partition p = SignatureBisimulation(g);
+  EXPECT_EQ(p.block_of[1], p.block_of[2]);
+  EXPECT_EQ(p.block_of[2], p.block_of[3]);
+  EXPECT_NE(p.block_of[0], p.block_of[1]);
+  EXPECT_EQ(p.num_blocks, 2u);
+}
+
+TEST(BisimTest, DifferentLabelsNeverMerge) {
+  Graph g(std::vector<Label>{1, 2});
+  const Partition p = SignatureBisimulation(g);
+  EXPECT_EQ(p.num_blocks, 2u);
+}
+
+TEST(BisimTest, StructureSeparates) {
+  // Same label everywhere; 0 -> 2, 1 has no child: 0 and 1 not bisimilar.
+  Graph g(std::vector<Label>{1, 1, 1});
+  g.AddEdge(0, 2);
+  const Partition p = SignatureBisimulation(g);
+  EXPECT_NE(p.block_of[0], p.block_of[1]);
+  EXPECT_EQ(p.block_of[1], p.block_of[2]);  // both leaves, same label
+}
+
+TEST(BisimTest, SingleCycleAllBisimilar) {
+  // a -> b -> a, same labels: maximum bisimulation merges both.
+  Graph g(std::vector<Label>{1, 1});
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  const Partition p = SignatureBisimulation(g);
+  EXPECT_EQ(p.num_blocks, 1u);
+  const Partition r = RankedBisimulation(g);
+  EXPECT_EQ(r.num_blocks, 1u);
+}
+
+TEST(BisimTest, TwoDisjointCyclesMerge) {
+  // Two disjoint 2-cycles, same label: all four nodes bisimilar. This is
+  // the case naive sig-merge heuristics miss and rank-stratified refinement
+  // must get right.
+  Graph g(std::vector<Label>{1, 1, 1, 1});
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 2);
+  EXPECT_EQ(SignatureBisimulation(g).num_blocks, 1u);
+  EXPECT_EQ(RankedBisimulation(g).num_blocks, 1u);
+}
+
+TEST(BisimTest, CycleVsLeafNotBisimilar) {
+  Graph g(std::vector<Label>{1, 1, 1});
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  // node 2: leaf with same label
+  const Partition p = SignatureBisimulation(g);
+  EXPECT_NE(p.block_of[0], p.block_of[2]);
+}
+
+TEST(BisimTest, ResultIsStable) {
+  const Graph g = GenerateUniform(150, 450, 4, 31);
+  const Partition p = SignatureBisimulation(g);
+  EXPECT_TRUE(IsStableBisimulationPartition(g, p));
+  const Partition r = RankedBisimulation(g);
+  EXPECT_TRUE(IsStableBisimulationPartition(g, r));
+}
+
+TEST(BisimTest, ResultIsCoarsestAmongTested) {
+  // Any stable label-respecting partition refines the maximum bisimulation.
+  const Graph g = GenerateUniform(80, 200, 3, 37);
+  const Partition max = SignatureBisimulation(g);
+  // The identity partition is stable; it must refine the maximum.
+  Partition identity;
+  identity.block_of.resize(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) identity.block_of[v] = v;
+  identity.num_blocks = g.num_nodes();
+  EXPECT_TRUE(Refines(identity, max));
+}
+
+// The two algorithms must agree exactly across generator families.
+class BisimAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BisimAgreementTest, RankedMatchesSignature) {
+  const uint64_t seed = GetParam();
+  Graph g;
+  switch (seed % 4) {
+    case 0:
+      g = GenerateUniform(130, 400, 3, seed);
+      break;
+    case 1:
+      g = PreferentialAttachment(130, 3, 0.4, seed);
+      break;
+    case 2:
+      g = CitationDag(130, 4, 0.5, seed);
+      break;
+    default:
+      g = CopyingModel(130, 4, 0.6, seed);
+      break;
+  }
+  if (seed % 2 == 0) AssignZipfLabels(g, 5, 0.8, seed);
+  const Partition a = SignatureBisimulation(g);
+  const Partition b = RankedBisimulation(g);
+  EXPECT_TRUE(SamePartition(a, b)) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BisimAgreementTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+TEST(BisimTest, EmptyGraph) {
+  Graph g(0);
+  EXPECT_EQ(SignatureBisimulation(g).num_blocks, 0u);
+  EXPECT_EQ(RankedBisimulation(g).num_blocks, 0u);
+}
+
+}  // namespace
+}  // namespace qpgc

@@ -1,0 +1,103 @@
+// Copyright 2026 The QPGC Authors.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "graph/builder.h"
+#include "graph/io.h"
+
+namespace qpgc {
+namespace {
+
+TEST(BuilderTest, DeduplicatesEdges) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  const Graph g = b.Build();
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(BuilderTest, AutoGrowCreatesNodes) {
+  GraphBuilder b;
+  b.AddEdgeAutoGrow(5, 2);
+  const Graph g = b.Build();
+  EXPECT_EQ(g.num_nodes(), 6u);
+  EXPECT_TRUE(g.HasEdge(5, 2));
+}
+
+TEST(BuilderTest, LabelsSurviveBuild) {
+  GraphBuilder b;
+  const NodeId u = b.AddNode(10);
+  const NodeId v = b.AddNode(20);
+  b.AddEdge(u, v);
+  const Graph g = b.Build();
+  EXPECT_EQ(g.label(u), 10u);
+  EXPECT_EQ(g.label(v), 20u);
+}
+
+TEST(IoTest, ParseEdgeListWithComments) {
+  const auto r = ParseEdgeList("# comment\n0 1\n1 2\n\n2 0\n");
+  ASSERT_TRUE(r.ok());
+  const Graph& g = r.value();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.HasEdge(2, 0));
+}
+
+TEST(IoTest, ParseRejectsGarbage) {
+  const auto r = ParseEdgeList("0 1\nnot an edge\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruptData);
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(IoTest, RoundTripThroughFile) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(3, 0);
+  const std::string path = ::testing::TempDir() + "/qpgc_io_test.txt";
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+  const auto r = LoadEdgeList(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), g);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, LoadMissingFileFails) {
+  const auto r = LoadEdgeList("/nonexistent/path/graph.txt");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(IoTest, LabelsRoundTrip) {
+  Graph g(3);
+  g.set_label(0, 7);
+  g.set_label(1, 8);
+  g.set_label(2, 7);
+  const std::string path = ::testing::TempDir() + "/qpgc_labels_test.txt";
+  ASSERT_TRUE(SaveLabels(g, path).ok());
+  Graph h(3);
+  ASSERT_TRUE(LoadLabels(h, path).ok());
+  EXPECT_EQ(h.label(0), 7u);
+  EXPECT_EQ(h.label(1), 8u);
+  EXPECT_EQ(h.label(2), 7u);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, LabelOutOfRangeRejected) {
+  const std::string path = ::testing::TempDir() + "/qpgc_badlabel_test.txt";
+  {
+    std::ofstream out(path);
+    out << "9 1\n";
+  }
+  Graph g(3);
+  EXPECT_FALSE(LoadLabels(g, path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace qpgc

@@ -1,0 +1,126 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "reach/compress_r.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/uniform.h"
+#include "graph/closure.h"
+#include "graph/topology.h"
+#include "graph/traversal.h"
+
+namespace qpgc {
+namespace {
+
+TEST(CompressRTest, CompressesParallelStructure) {
+  Graph g(6);
+  // Two equivalent sources {0,1} -> two equivalent middles {2,3} -> two
+  // equivalent sinks {4,5}.
+  for (NodeId s : {0, 1}) {
+    g.AddEdge(s, 2);
+    g.AddEdge(s, 3);
+  }
+  for (NodeId m : {2, 3}) {
+    g.AddEdge(m, 4);
+    g.AddEdge(m, 5);
+  }
+  const ReachCompression rc = CompressR(g);
+  EXPECT_EQ(rc.gr.num_nodes(), 3u);
+  EXPECT_EQ(rc.gr.num_edges(), 2u);
+  EXPECT_LT(rc.CompressionRatio(), 0.5);
+}
+
+TEST(CompressRTest, SelfLoopMarksCyclicClass) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(1, 2);
+  const ReachCompression rc = CompressR(g);
+  const NodeId c = rc.node_map[0];
+  EXPECT_TRUE(rc.cyclic[c]);
+  EXPECT_TRUE(rc.gr.HasEdge(c, c));
+  const NodeId sink = rc.node_map[2];
+  EXPECT_FALSE(rc.gr.HasEdge(sink, sink));
+}
+
+TEST(CompressRTest, QuotientEdgesTransitivelyReduced) {
+  // Chain with shortcut: 0 -> 1 -> 2 and 0 -> 2; all nodes distinct classes.
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  const ReachCompression rc = CompressR(g);
+  EXPECT_EQ(rc.gr.num_nodes(), 3u);
+  EXPECT_EQ(rc.gr.num_edges(), 2u);  // shortcut removed
+}
+
+TEST(CompressRTest, ReductionCanBeDisabled) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  CompressROptions options;
+  options.transitive_reduction = false;
+  const ReachCompression rc = CompressR(g, options);
+  EXPECT_EQ(rc.gr.num_edges(), 3u);
+}
+
+TEST(CompressRTest, NodeMapAndMembersConsistent) {
+  const Graph g = GenerateUniform(150, 500, 1, 4);
+  const ReachCompression rc = CompressR(g);
+  EXPECT_EQ(rc.node_map.size(), g.num_nodes());
+  size_t total = 0;
+  for (NodeId c = 0; c < rc.gr.num_nodes(); ++c) {
+    total += rc.members[c].size();
+    for (NodeId v : rc.members[c]) EXPECT_EQ(rc.node_map[v], c);
+  }
+  EXPECT_EQ(total, g.num_nodes());
+  EXPECT_EQ(rc.original_size, g.size());
+  EXPECT_LE(rc.size(), g.size());
+}
+
+TEST(CompressRTest, RanksMatchMemberRanks) {
+  const Graph g = GenerateUniform(100, 320, 1, 5);
+  const ReachCompression rc = CompressR(g);
+  const auto node_ranks = ReachTopoRanks(g);
+  for (NodeId c = 0; c < rc.gr.num_nodes(); ++c) {
+    for (NodeId v : rc.members[c]) {
+      EXPECT_EQ(rc.ranks[c], node_ranks[v]);
+    }
+  }
+}
+
+// The defining property, exhaustively on small graphs: u reaches v in G
+// (non-empty) iff R(u) reaches R(v) in Gr (non-empty).
+class CompressRPreservationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CompressRPreservationTest, ClosurePreserved) {
+  const uint64_t seed = GetParam();
+  const Graph g = GenerateUniform(60, 60 + (seed * 37) % 240, 1, seed);
+  const ReachCompression rc = CompressR(g);
+  const BitMatrix g_closure = FullClosure(g);
+  const BitMatrix gr_closure = FullClosure(rc.gr);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(g_closure.Test(u, v),
+                gr_closure.Test(rc.node_map[u], rc.node_map[v]))
+          << "seed=" << seed << " pair (" << u << "," << v << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompressRPreservationTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+TEST(CompressRTest, EmptyAndEdgeless) {
+  Graph empty(0);
+  const ReachCompression rc0 = CompressR(empty);
+  EXPECT_EQ(rc0.gr.num_nodes(), 0u);
+  Graph edgeless(5);
+  const ReachCompression rc1 = CompressR(edgeless);
+  EXPECT_EQ(rc1.gr.num_nodes(), 1u);  // all nodes equivalent
+  EXPECT_EQ(rc1.gr.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace qpgc

@@ -1,0 +1,130 @@
+// Copyright 2026 The QPGC Authors.
+
+#include <gtest/gtest.h>
+
+#include "gen/dataset_catalog.h"
+#include "gen/evolution.h"
+#include "gen/random_models.h"
+#include "gen/uniform.h"
+#include "graph/scc.h"
+#include "graph/stats.h"
+
+namespace qpgc {
+namespace {
+
+TEST(GeneratorsTest, UniformSizesAndDeterminism) {
+  const Graph a = GenerateUniform(200, 600, 5, 3);
+  EXPECT_EQ(a.num_nodes(), 200u);
+  EXPECT_NEAR(static_cast<double>(a.num_edges()), 600.0, 30.0);
+  EXPECT_LE(a.CountDistinctLabels(), 5u);
+  const Graph b = GenerateUniform(200, 600, 5, 3);
+  EXPECT_EQ(a, b);
+  const Graph c = GenerateUniform(200, 600, 5, 4);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(GeneratorsTest, UniformHasNoSelfLoops) {
+  const Graph g = GenerateUniform(100, 400, 2, 9);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_FALSE(g.HasEdge(v, v));
+}
+
+TEST(GeneratorsTest, ZipfLabelsHeavyTailed) {
+  Graph g(10000);
+  AssignZipfLabels(g, 20, 1.0, 11);
+  std::vector<size_t> counts(20, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) ++counts[g.label(v)];
+  EXPECT_GT(counts[0], counts[10]);
+}
+
+TEST(GeneratorsTest, PreferentialAttachmentReciprocityCreatesScc) {
+  const Graph g = PreferentialAttachment(2000, 3, 0.6, 13);
+  const GraphStats s = ComputeStats(g);
+  // Reciprocity should produce a substantial cyclic core.
+  EXPECT_GT(s.cyclic_node_fraction, 0.3) << FormatStats(s);
+  // Heavy-tailed in-degree: hubs exist.
+  EXPECT_GT(s.max_in_degree, 30u);
+}
+
+TEST(GeneratorsTest, NoReciprocityMeansFewCycles) {
+  const Graph g = PreferentialAttachment(2000, 3, 0.0, 13);
+  const SccResult scc = ComputeScc(g);
+  EXPECT_EQ(scc.num_components, g.num_nodes());  // strictly acyclic (DAG)
+}
+
+TEST(GeneratorsTest, CitationDagIsAcyclic) {
+  const Graph g = CitationDag(1500, 5, 0.5, 17);
+  const SccResult scc = ComputeScc(g);
+  EXPECT_EQ(scc.num_components, g.num_nodes());
+}
+
+TEST(GeneratorsTest, CopyingModelProducesSharedNeighborhoods) {
+  const Graph g = CopyingModel(2000, 5, 0.7, 19);
+  const GraphStats s = ComputeStats(g);
+  EXPECT_GT(s.max_in_degree, 20u);  // authorities emerge
+}
+
+TEST(GeneratorsTest, LayeredRandomCoreAndPendants) {
+  const Graph g = LayeredRandom(1000, 8, 3, 0.1, 23);
+  EXPECT_EQ(g.num_nodes(), 1000u);
+  EXPECT_GT(g.num_edges(), 1000u);
+  // Pendant fringe: a solid share of sink-only leaf peers.
+  size_t sinks = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) sinks += g.OutDegree(v) == 0;
+  EXPECT_GT(sinks, 300u);
+}
+
+TEST(GeneratorsTest, CitationMutualCitesCreateCycles) {
+  const Graph acyclic = CitationDag(800, 5, 0.5, 31, 0.0);
+  EXPECT_EQ(ComputeScc(acyclic).num_components, acyclic.num_nodes());
+  const Graph cyclic = CitationDag(800, 5, 0.5, 31, 0.3);
+  EXPECT_LT(ComputeScc(cyclic).num_components, cyclic.num_nodes());
+}
+
+TEST(GeneratorsTest, InternetTopologyHasTransitCoreAndStubFringe) {
+  const Graph g = InternetTopology(1000, 0.25, 29);
+  const GraphStats s = ComputeStats(g);
+  // Route back-export + peering build a sizable transit SCC, but stub ASes
+  // stay outside it (directed customer->provider edges only).
+  EXPECT_GT(s.largest_scc, 200u) << FormatStats(s);
+  EXPECT_LT(s.largest_scc, 950u) << FormatStats(s);
+}
+
+TEST(CatalogTest, AllDatasetsInstantiable) {
+  for (const auto& spec : ReachabilityDatasets()) {
+    const Graph g = MakeDataset(spec);
+    EXPECT_EQ(g.num_nodes(), spec.num_nodes) << spec.name;
+    EXPECT_GT(g.num_edges(), 0u) << spec.name;
+  }
+  for (const auto& spec : PatternDatasets()) {
+    const Graph g = MakeDataset(spec);
+    EXPECT_EQ(g.num_nodes(), spec.num_nodes) << spec.name;
+    EXPECT_LE(g.CountDistinctLabels(), spec.num_labels) << spec.name;
+  }
+}
+
+TEST(CatalogTest, FindByName) {
+  const DatasetSpec& p2p = FindDataset("P2P");
+  EXPECT_EQ(p2p.family, DatasetFamily::kP2P);
+}
+
+TEST(EvolutionTest, DensifiedSeriesGrows) {
+  const Graph g0 = DensifiedGraph(500, 1.1, 1.2, 10, 0, 31);
+  const Graph g2 = DensifiedGraph(500, 1.1, 1.2, 10, 2, 31);
+  EXPECT_GT(g2.num_nodes(), g0.num_nodes());
+  const double d0 = static_cast<double>(g0.num_edges()) / g0.num_nodes();
+  const double d2 = static_cast<double>(g2.num_edges()) / g2.num_nodes();
+  EXPECT_GT(d2, d0);  // densification: edges grow superlinearly
+}
+
+TEST(EvolutionTest, PowerLawGrowthAddsEdges) {
+  Graph g = PreferentialAttachment(500, 3, 0.3, 37);
+  const size_t before = g.num_edges();
+  const UpdateBatch batch = PowerLawGrowthStep(g, 0.05, 0.8, 41);
+  EXPECT_EQ(g.num_edges(), before + batch.size());
+  EXPECT_NEAR(static_cast<double>(batch.size()),
+              static_cast<double>(before) * 0.05, before * 0.01 + 2.0);
+  for (const auto& up : batch.updates) EXPECT_TRUE(up.is_insert);
+}
+
+}  // namespace
+}  // namespace qpgc

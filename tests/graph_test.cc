@@ -1,0 +1,139 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace qpgc {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.size(), 0u);
+}
+
+TEST(GraphTest, AddNodesAndEdges) {
+  Graph g(3);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_TRUE(g.AddEdge(0, 1));
+  EXPECT_TRUE(g.AddEdge(0, 2));
+  EXPECT_TRUE(g.AddEdge(1, 2));
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.size(), 6u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+}
+
+TEST(GraphTest, DuplicateEdgeRejected) {
+  Graph g(2);
+  EXPECT_TRUE(g.AddEdge(0, 1));
+  EXPECT_FALSE(g.AddEdge(0, 1));
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphTest, SelfLoopAllowed) {
+  Graph g(2);
+  EXPECT_TRUE(g.AddEdge(1, 1));
+  EXPECT_TRUE(g.HasEdge(1, 1));
+  EXPECT_EQ(g.OutDegree(1), 1u);
+  EXPECT_EQ(g.InDegree(1), 1u);
+}
+
+TEST(GraphTest, RemoveEdgeMaintainsBothDirections) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  EXPECT_TRUE(g.RemoveEdge(0, 1));
+  EXPECT_FALSE(g.RemoveEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.InDegree(1), 0u);
+  EXPECT_EQ(g.OutDegree(0), 1u);
+}
+
+TEST(GraphTest, NeighborsSortedAscending) {
+  Graph g(5);
+  g.AddEdge(0, 4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 3);
+  const auto out = g.OutNeighbors(0);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], 1u);
+  EXPECT_EQ(out[1], 3u);
+  EXPECT_EQ(out[2], 4u);
+}
+
+TEST(GraphTest, InNeighborsTracked) {
+  Graph g(4);
+  g.AddEdge(1, 0);
+  g.AddEdge(2, 0);
+  g.AddEdge(3, 0);
+  const auto in = g.InNeighbors(0);
+  ASSERT_EQ(in.size(), 3u);
+  EXPECT_EQ(in[0], 1u);
+  EXPECT_EQ(in[2], 3u);
+}
+
+TEST(GraphTest, Labels) {
+  Graph g(std::vector<Label>{5, 7, 5});
+  EXPECT_EQ(g.label(0), 5u);
+  EXPECT_EQ(g.label(1), 7u);
+  EXPECT_EQ(g.CountDistinctLabels(), 2u);
+  g.set_label(2, 9);
+  EXPECT_EQ(g.CountDistinctLabels(), 3u);
+}
+
+TEST(GraphTest, AddNodeGrows) {
+  Graph g(1);
+  const NodeId v = g.AddNode(3);
+  EXPECT_EQ(v, 1u);
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.label(v), 3u);
+  EXPECT_TRUE(g.AddEdge(0, v));
+}
+
+TEST(GraphTest, ReverseSwapsDirections) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.Reverse();
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(2, 1));
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(GraphTest, EdgeListSorted) {
+  Graph g(3);
+  g.AddEdge(2, 0);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  const auto edges = g.EdgeList();
+  ASSERT_EQ(edges.size(), 3u);
+  const std::pair<NodeId, NodeId> e0{0, 1}, e1{0, 2}, e2{2, 0};
+  EXPECT_EQ(edges[0], e0);
+  EXPECT_EQ(edges[1], e1);
+  EXPECT_EQ(edges[2], e2);
+}
+
+TEST(GraphTest, EqualityIsStructural) {
+  Graph a(2), b(2);
+  a.AddEdge(0, 1);
+  b.AddEdge(0, 1);
+  EXPECT_EQ(a, b);
+  b.AddEdge(1, 0);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(GraphTest, DebugStringMentionsSizes) {
+  Graph g(2);
+  g.AddEdge(0, 1);
+  const std::string s = g.DebugString();
+  EXPECT_NE(s.find("|V|=2"), std::string::npos);
+  EXPECT_NE(s.find("|E|=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qpgc

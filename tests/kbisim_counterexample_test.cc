@@ -1,0 +1,139 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Reproduces the paper's Section 4.1 counterexample (Fig. 6): the A(k)-index
+// with k = 1 merges nodes that are 1-bisimilar but not bisimilar, and the
+// resulting index graph gives wrong answers for the pattern
+// {(B,C), (B,D)} — whereas compressB is exact.
+
+#include <gtest/gtest.h>
+
+#include "bisim/kbisim.h"
+#include "bisim/signature_bisim.h"
+#include "core/pattern_scheme.h"
+#include "pattern/match.h"
+
+namespace qpgc {
+namespace {
+
+// Labels as small integers.
+constexpr Label A = 0, B = 1, C = 2, D = 3;
+
+// The paper's G1 (Fig. 6): A1 -> B1 -> {C1, D1}; A2 -> {B2 -> C2, B3 -> D2};
+// A3 -> B4 -> C3 and A3 -> B5 -> {C4, D3}.
+// (B1 and B5 are the only B nodes with both a C and a D child.)
+struct Fig6Graph {
+  Graph g{std::vector<Label>(15, 0)};
+  // indexes
+  NodeId a1 = 0, a2 = 1, a3 = 2;
+  NodeId b1 = 3, b2 = 4, b3 = 5, b4 = 6, b5 = 7;
+  NodeId c1 = 8, c2 = 9, c3 = 10, c4 = 11;
+  NodeId d1 = 12, d2 = 13, d3 = 14;
+
+  Fig6Graph() {
+    for (NodeId a : {a1, a2, a3}) g.set_label(a, A);
+    for (NodeId b : {b1, b2, b3, b4, b5}) g.set_label(b, B);
+    for (NodeId c : {c1, c2, c3, c4}) g.set_label(c, C);
+    for (NodeId d : {d1, d2, d3}) g.set_label(d, D);
+    g.AddEdge(a1, b1);
+    g.AddEdge(b1, c1);
+    g.AddEdge(b1, d1);
+    g.AddEdge(a2, b2);
+    g.AddEdge(a2, b3);
+    g.AddEdge(b2, c2);
+    g.AddEdge(b3, d2);
+    g.AddEdge(a3, b4);
+    g.AddEdge(a3, b5);
+    g.AddEdge(b4, c3);
+    g.AddEdge(b5, c4);
+    g.AddEdge(b5, d3);
+  }
+};
+
+PatternQuery BCDPattern() {
+  // Query node B with edges (B,C) and (B,D), both bound 1.
+  PatternQuery q;
+  const uint32_t qb = q.AddNode(B);
+  const uint32_t qc = q.AddNode(C);
+  const uint32_t qd = q.AddNode(D);
+  q.AddEdge(qb, qc, 1);
+  q.AddEdge(qb, qd, 1);
+  return q;
+}
+
+TEST(KBisimCounterexample, OneBisimilarMergesAllANodes) {
+  const Fig6Graph f;
+  // A(k) groups by *incoming* structure: all A nodes are roots, so they are
+  // 1-bisimilar and merged — although not (out-)bisimilar.
+  const Partition k1 = KBisimulationBackward(f.g, 1);
+  EXPECT_EQ(k1.block_of[f.a1], k1.block_of[f.a2]);
+  EXPECT_EQ(k1.block_of[f.a2], k1.block_of[f.a3]);
+  const Partition full = SignatureBisimulation(f.g);
+  EXPECT_NE(full.block_of[f.a1], full.block_of[f.a2]);
+  EXPECT_NE(full.block_of[f.a1], full.block_of[f.a3]);
+  EXPECT_NE(full.block_of[f.a2], full.block_of[f.a3]);
+}
+
+TEST(KBisimCounterexample, AkMergesAllBNodes) {
+  const Fig6Graph f;
+  // Every B node has only A parents: one block in the A(1) index.
+  const Partition k1 = KBisimulationBackward(f.g, 1);
+  EXPECT_EQ(k1.block_of[f.b1], k1.block_of[f.b2]);
+  EXPECT_EQ(k1.block_of[f.b2], k1.block_of[f.b3]);
+  EXPECT_EQ(k1.block_of[f.b3], k1.block_of[f.b4]);
+  EXPECT_EQ(k1.block_of[f.b4], k1.block_of[f.b5]);
+}
+
+TEST(KBisimCounterexample, TrueMatchesAreB1AndB5) {
+  const Fig6Graph f;
+  const MatchResult m = Match(f.g, BCDPattern());
+  ASSERT_TRUE(m.matched);
+  EXPECT_EQ(m.match_sets[0], (std::vector<NodeId>{f.b1, f.b5}));
+}
+
+TEST(KBisimCounterexample, AkIndexOverApproximates) {
+  const Fig6Graph f;
+  const Partition k1 = KBisimulationBackward(f.g, 1);
+  const Graph ak = AkIndexGraph(f.g, 1);
+  const MatchResult on_index = Match(ak, BCDPattern());
+  ASSERT_TRUE(on_index.matched);
+  // Expand the index answer back to data nodes.
+  std::vector<NodeId> expanded;
+  for (NodeId blk : on_index.match_sets[0]) {
+    for (NodeId v = 0; v < f.g.num_nodes(); ++v) {
+      if (k1.block_of[v] == blk) expanded.push_back(v);
+    }
+  }
+  std::sort(expanded.begin(), expanded.end());
+  // The merged B block has C children (via b1, b2, ...) and D children (via
+  // b1, b3, ...), so the index graph reports ALL B nodes as matches — the
+  // paper's Section 4.1 claim — although only b1 and b5 truly match.
+  const std::vector<NodeId> truth = {f.b1, f.b5};
+  EXPECT_EQ(expanded.size(), 5u);
+  EXPECT_NE(expanded, truth);
+}
+
+TEST(KBisimCounterexample, CompressBIsExactOnFig6) {
+  const Fig6Graph f;
+  const PatternCompression pc = CompressB(f.g);
+  const MatchResult direct = Match(f.g, BCDPattern());
+  const MatchResult via_gr = MatchOnCompressed(pc, BCDPattern());
+  EXPECT_EQ(direct.match_sets, via_gr.match_sets);
+  EXPECT_EQ(via_gr.match_sets[0], (std::vector<NodeId>{f.b1, f.b5}));
+}
+
+TEST(KBisimCounterexample, KBisimConvergesToFullBisim) {
+  const Fig6Graph f;
+  // Graph depth is 2, so k >= 3 equals the full bisimulation.
+  const Partition k3 = KBisimulation(f.g, 3);
+  const Partition full = SignatureBisimulation(f.g);
+  EXPECT_TRUE(SamePartition(k3, full));
+}
+
+TEST(KBisimCounterexample, KZeroIsLabelPartition) {
+  const Fig6Graph f;
+  const Partition k0 = KBisimulation(f.g, 0);
+  EXPECT_EQ(k0.num_blocks, 4u);  // A, B, C, D
+}
+
+}  // namespace
+}  // namespace qpgc

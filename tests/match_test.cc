@@ -1,0 +1,215 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "pattern/match.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/uniform.h"
+#include "graph/traversal.h"
+
+namespace qpgc {
+namespace {
+
+// Brute-force maximum match for cross-checking: iterate the pruning
+// operator on full candidate sets without worklists.
+MatchResult BruteForceMatch(const Graph& g, const PatternQuery& q) {
+  // S(u) = label candidates.
+  std::vector<std::vector<uint8_t>> in_set(q.num_nodes(),
+                                           std::vector<uint8_t>(g.num_nodes()));
+  for (uint32_t u = 0; u < q.num_nodes(); ++u) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      in_set[u][v] = (g.label(v) == q.label(u));
+    }
+  }
+  // Distances for bounded checks, recomputed naively.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (uint32_t u = 0; u < q.num_nodes(); ++u) {
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        if (!in_set[u][v]) continue;
+        for (uint32_t eid : q.out_edges(u)) {
+          const PatternEdge& e = q.edge(eid);
+          // Is there a non-empty path of length <= bound from v to some
+          // member of S(e.to)?  BFS from v.
+          bool ok = false;
+          std::vector<uint32_t> dist(g.num_nodes(), kUnreachedDist);
+          std::vector<NodeId> queue{v};
+          dist[v] = 0;
+          for (size_t i = 0; i < queue.size() && !ok; ++i) {
+            const NodeId x = queue[i];
+            if (dist[x] >= e.bound) continue;
+            for (NodeId w : g.OutNeighbors(x)) {
+              const uint32_t dw = dist[x] + 1;
+              if (in_set[e.to][w]) {
+                ok = true;
+                break;
+              }
+              if (dist[w] == kUnreachedDist) {
+                dist[w] = dw;
+                queue.push_back(w);
+              }
+            }
+          }
+          if (!ok) {
+            in_set[u][v] = 0;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  MatchResult r;
+  r.fixpoint_sets.resize(q.num_nodes());
+  for (uint32_t u = 0; u < q.num_nodes(); ++u) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (in_set[u][v]) r.fixpoint_sets[u].push_back(v);
+    }
+  }
+  r.matched = true;
+  for (const auto& s : r.fixpoint_sets) {
+    if (s.empty()) r.matched = false;
+  }
+  r.match_sets = r.matched ? r.fixpoint_sets
+                           : std::vector<std::vector<NodeId>>(q.num_nodes());
+  return r;
+}
+
+TEST(MatchTest, SingleEdgeBoundOne) {
+  // Data: 0(A) -> 1(B); 2(A) with no B child.
+  Graph g(std::vector<Label>{0, 1, 0});
+  g.AddEdge(0, 1);
+  PatternQuery q;
+  const uint32_t a = q.AddNode(0);
+  const uint32_t b = q.AddNode(1);
+  q.AddEdge(a, b, 1);
+  const MatchResult m = Match(g, q);
+  ASSERT_TRUE(m.matched);
+  EXPECT_EQ(m.match_sets[a], (std::vector<NodeId>{0}));
+  EXPECT_EQ(m.match_sets[b], (std::vector<NodeId>{1}));
+}
+
+TEST(MatchTest, BoundTwoAllowsTwoHops) {
+  // 0(A) -> 1(C) -> 2(B): A-to-B within 2 hops but not 1.
+  Graph g(std::vector<Label>{0, 2, 1});
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  PatternQuery q1, q2;
+  const uint32_t a1 = q1.AddNode(0);
+  const uint32_t b1 = q1.AddNode(1);
+  q1.AddEdge(a1, b1, 1);
+  EXPECT_FALSE(Match(g, q1).matched);
+  const uint32_t a2 = q2.AddNode(0);
+  const uint32_t b2 = q2.AddNode(1);
+  q2.AddEdge(a2, b2, 2);
+  EXPECT_TRUE(Match(g, q2).matched);
+}
+
+TEST(MatchTest, StarBoundIsUnbounded) {
+  // Long chain A -> x -> x -> ... -> B.
+  const size_t n = 50;
+  Graph g(n);
+  g.set_label(0, 7);
+  for (NodeId v = 1; v + 1 < n; ++v) g.set_label(v, 9);
+  g.set_label(n - 1, 8);
+  for (NodeId v = 0; v + 1 < n; ++v) g.AddEdge(v, v + 1);
+  PatternQuery q;
+  const uint32_t a = q.AddNode(7);
+  const uint32_t b = q.AddNode(8);
+  q.AddEdge(a, b, kStarBound);
+  EXPECT_TRUE(Match(g, q).matched);
+}
+
+TEST(MatchTest, CyclicPatternOnCyclicData) {
+  // Pattern A -> B -> A (cycle); data has a 2-cycle with labels A, B.
+  Graph g(std::vector<Label>{0, 1});
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  PatternQuery q;
+  const uint32_t a = q.AddNode(0);
+  const uint32_t b = q.AddNode(1);
+  q.AddEdge(a, b, 1);
+  q.AddEdge(b, a, 1);
+  const MatchResult m = Match(g, q);
+  ASSERT_TRUE(m.matched);
+  EXPECT_EQ(m.match_sets[a], (std::vector<NodeId>{0}));
+  EXPECT_EQ(m.match_sets[b], (std::vector<NodeId>{1}));
+}
+
+TEST(MatchTest, CyclicPatternPrunesAcyclicData) {
+  // Same pattern, but data edge B -> A missing: no match.
+  Graph g(std::vector<Label>{0, 1});
+  g.AddEdge(0, 1);
+  PatternQuery q;
+  const uint32_t a = q.AddNode(0);
+  const uint32_t b = q.AddNode(1);
+  q.AddEdge(a, b, 1);
+  q.AddEdge(b, a, 1);
+  const MatchResult m = Match(g, q);
+  EXPECT_FALSE(m.matched);
+  EXPECT_TRUE(m.match_sets[a].empty());
+}
+
+TEST(MatchTest, SelfLoopSatisfiesCyclicPattern) {
+  Graph g(std::vector<Label>{0});
+  g.AddEdge(0, 0);
+  PatternQuery q;
+  const uint32_t a = q.AddNode(0);
+  q.AddEdge(a, a, 1);
+  EXPECT_TRUE(Match(g, q).matched);
+}
+
+TEST(MatchTest, NonEmptyPathRequired) {
+  // Pattern edge A -> A with bound 1 requires a real self-edge, not the
+  // trivial empty path.
+  Graph g(std::vector<Label>{0});
+  PatternQuery q;
+  const uint32_t a = q.AddNode(0);
+  q.AddEdge(a, a, 1);
+  EXPECT_FALSE(Match(g, q).matched);
+}
+
+TEST(MatchTest, MissingLabelMeansNoMatch) {
+  Graph g(std::vector<Label>{0, 0});
+  g.AddEdge(0, 1);
+  PatternQuery q;
+  q.AddNode(42);
+  EXPECT_FALSE(Match(g, q).matched);
+}
+
+TEST(MatchTest, ResultSetsSorted) {
+  const Graph g = GenerateUniform(60, 200, 3, 41);
+  PatternQuery q;
+  const uint32_t a = q.AddNode(0);
+  const uint32_t b = q.AddNode(1);
+  q.AddEdge(a, b, 2);
+  const MatchResult m = Match(g, q);
+  for (const auto& s : m.match_sets) {
+    EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+  }
+}
+
+class MatchAgainstBruteForce : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MatchAgainstBruteForce, FixpointsAgree) {
+  const uint64_t seed = GetParam();
+  const Graph g = GenerateUniform(40, 140, 3, seed);
+  PatternQuery q;
+  const uint32_t a = q.AddNode(0);
+  const uint32_t b = q.AddNode(1);
+  const uint32_t c = q.AddNode(2);
+  q.AddEdge(a, b, 1 + seed % 3);
+  q.AddEdge(b, c, seed % 2 == 0 ? kStarBound : 2);
+  q.AddEdge(a, c, 2);
+  const MatchResult fast = Match(g, q);
+  const MatchResult slow = BruteForceMatch(g, q);
+  EXPECT_EQ(fast.matched, slow.matched) << "seed=" << seed;
+  EXPECT_EQ(fast.fixpoint_sets, slow.fixpoint_sets) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchAgainstBruteForce,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace qpgc

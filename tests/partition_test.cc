@@ -1,0 +1,69 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "bisim/partition.h"
+
+#include <gtest/gtest.h>
+
+namespace qpgc {
+namespace {
+
+Partition MakePartition(std::vector<NodeId> block_of, size_t num_blocks) {
+  Partition p;
+  p.block_of = std::move(block_of);
+  p.num_blocks = num_blocks;
+  return p;
+}
+
+TEST(PartitionTest, MembersGrouping) {
+  const Partition p = MakePartition({0, 1, 0, 1, 2}, 3);
+  const auto m = p.Members();
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_EQ(m[0], (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ(m[1], (std::vector<NodeId>{1, 3}));
+  EXPECT_EQ(m[2], (std::vector<NodeId>{4}));
+}
+
+TEST(PartitionTest, NormalizeDensifies) {
+  Partition p = MakePartition({5, 5, 2, 9}, 10);
+  p.Normalize();
+  EXPECT_EQ(p.num_blocks, 3u);
+  EXPECT_EQ(p.block_of[0], p.block_of[1]);
+  EXPECT_NE(p.block_of[0], p.block_of[2]);
+}
+
+TEST(PartitionTest, SamePartitionIgnoresNumbering) {
+  const Partition a = MakePartition({0, 0, 1, 2}, 3);
+  const Partition b = MakePartition({2, 2, 0, 1}, 3);
+  EXPECT_TRUE(SamePartition(a, b));
+  const Partition c = MakePartition({0, 1, 1, 2}, 3);
+  EXPECT_FALSE(SamePartition(a, c));
+}
+
+TEST(PartitionTest, RefinesDetectsContainment) {
+  const Partition fine = MakePartition({0, 1, 2, 3}, 4);
+  const Partition coarse = MakePartition({0, 0, 1, 1}, 2);
+  EXPECT_TRUE(Refines(fine, coarse));
+  EXPECT_FALSE(Refines(coarse, fine));
+  EXPECT_TRUE(Refines(coarse, coarse));
+}
+
+TEST(PartitionTest, StabilityCheckLabels) {
+  Graph g(2);
+  g.set_label(0, 1);
+  g.set_label(1, 2);
+  const Partition merged = MakePartition({0, 0}, 1);
+  EXPECT_FALSE(IsStableBisimulationPartition(g, merged));
+}
+
+TEST(PartitionTest, StabilityCheckSuccessorBlocks) {
+  // 0 -> 2, 1 -> (nothing): {0,1} unstable.
+  Graph g(3);
+  g.AddEdge(0, 2);
+  const Partition p = MakePartition({0, 0, 1}, 2);
+  EXPECT_FALSE(IsStableBisimulationPartition(g, p));
+  const Partition fine = MakePartition({0, 1, 2}, 3);
+  EXPECT_TRUE(IsStableBisimulationPartition(g, fine));
+}
+
+}  // namespace
+}  // namespace qpgc

@@ -1,0 +1,110 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "pattern/pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/uniform.h"
+#include "pattern/pattern_gen.h"
+
+namespace qpgc {
+namespace {
+
+TEST(PatternTest, BuildAndInspect) {
+  PatternQuery q;
+  const uint32_t a = q.AddNode(1);
+  const uint32_t b = q.AddNode(2);
+  q.AddEdge(a, b, 2);
+  EXPECT_EQ(q.num_nodes(), 2u);
+  EXPECT_EQ(q.num_edges(), 1u);
+  EXPECT_EQ(q.label(a), 1u);
+  EXPECT_EQ(q.edge(0).bound, 2u);
+  EXPECT_EQ(q.out_edges(a).size(), 1u);
+  EXPECT_TRUE(q.out_edges(b).empty());
+}
+
+TEST(PatternTest, SimulationPatternDetection) {
+  PatternQuery q;
+  const uint32_t a = q.AddNode(1);
+  const uint32_t b = q.AddNode(2);
+  q.AddEdge(a, b, 1);
+  EXPECT_TRUE(q.IsSimulationPattern());
+  q.AddEdge(b, a, 3);
+  EXPECT_FALSE(q.IsSimulationPattern());
+}
+
+TEST(PatternTest, DebugStringShowsStar) {
+  PatternQuery q;
+  const uint32_t a = q.AddNode(1);
+  const uint32_t b = q.AddNode(2);
+  q.AddEdge(a, b, kStarBound);
+  EXPECT_NE(q.DebugString().find("*"), std::string::npos);
+}
+
+TEST(PatternGenTest, RespectsSizeParameters) {
+  const std::vector<Label> labels = {0, 1, 2, 3};
+  PatternGenOptions options;
+  options.num_nodes = 5;
+  options.num_edges = 7;
+  options.max_bound = 3;
+  const PatternQuery q = RandomPattern(labels, options, 77);
+  EXPECT_EQ(q.num_nodes(), 5u);
+  EXPECT_EQ(q.num_edges(), 7u);
+  for (const auto& e : q.edges()) {
+    EXPECT_GE(e.bound, 1u);
+    EXPECT_LE(e.bound, 3u);
+    EXPECT_NE(e.from, e.to);
+  }
+}
+
+TEST(PatternGenTest, WeaklyConnected) {
+  const std::vector<Label> labels = {0, 1};
+  PatternGenOptions options;
+  options.num_nodes = 6;
+  options.num_edges = 6;
+  const PatternQuery q = RandomPattern(labels, options, 31);
+  // Union-find over undirected edges.
+  std::vector<uint32_t> parent(q.num_nodes());
+  for (uint32_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  const auto find = [&](uint32_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  for (const auto& e : q.edges()) parent[find(e.from)] = find(e.to);
+  for (uint32_t i = 1; i < q.num_nodes(); ++i) {
+    EXPECT_EQ(find(i), find(0)) << "pattern not weakly connected";
+  }
+}
+
+TEST(PatternGenTest, StarProbabilityProducesStars) {
+  const std::vector<Label> labels = {0};
+  PatternGenOptions options;
+  options.num_nodes = 4;
+  options.num_edges = 8;
+  options.star_probability = 1.0;
+  const PatternQuery q = RandomPattern(labels, options, 5);
+  for (const auto& e : q.edges()) EXPECT_EQ(e.bound, kStarBound);
+}
+
+TEST(PatternGenTest, DeterministicInSeed) {
+  const std::vector<Label> labels = {0, 1, 2};
+  PatternGenOptions options;
+  options.num_nodes = 4;
+  options.num_edges = 5;
+  const PatternQuery a = RandomPattern(labels, options, 123);
+  const PatternQuery b = RandomPattern(labels, options, 123);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (uint32_t e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge(e).from, b.edge(e).from);
+    EXPECT_EQ(a.edge(e).to, b.edge(e).to);
+    EXPECT_EQ(a.edge(e).bound, b.edge(e).bound);
+  }
+}
+
+TEST(PatternGenTest, DistinctLabelsHelper) {
+  Graph g(std::vector<Label>{3, 1, 3, 2});
+  EXPECT_EQ(DistinctLabels(g), (std::vector<Label>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace qpgc

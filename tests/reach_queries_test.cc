@@ -1,0 +1,105 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "reach/queries.h"
+
+#include <gtest/gtest.h>
+
+#include "core/reach_scheme.h"
+#include "gen/uniform.h"
+
+namespace qpgc {
+namespace {
+
+TEST(ReachQueriesTest, RewriteIsNodeMapLookup) {
+  Graph g(4);
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 3);
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 3);
+  const ReachCompression rc = CompressR(g);
+  const RewrittenReachQuery rq = RewriteReachQuery(rc, {0, 3});
+  EXPECT_EQ(rq.u, rc.node_map[0]);
+  EXPECT_EQ(rq.v, rc.node_map[3]);
+}
+
+TEST(ReachQueriesTest, DiagonalReflexiveAlwaysTrue) {
+  Graph g(2);
+  g.AddEdge(0, 1);
+  const ReachCompression rc = CompressR(g);
+  EXPECT_TRUE(AnswerOnCompressed(rc, {0, 0}, PathMode::kReflexive,
+                                 ReachAlgorithm::kBfs));
+}
+
+TEST(ReachQueriesTest, EquivalentButUnreachablePairAnsweredFalse) {
+  // 0 and 1 are reachability equivalent (same class) but neither reaches
+  // the other: QR(0, 1) must be false under non-empty semantics even though
+  // R(0) == R(1). This is the diagonal subtlety the self-loop convention
+  // resolves (DESIGN.md §2).
+  Graph g(4);
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 3);
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 3);
+  const ReachCompression rc = CompressR(g);
+  ASSERT_EQ(rc.node_map[0], rc.node_map[1]);
+  EXPECT_FALSE(AnswerOnCompressed(rc, {0, 1}, PathMode::kNonEmpty,
+                                  ReachAlgorithm::kBfs));
+  // Under reflexive semantics QR(0, 1) with u != v means a real path too.
+  EXPECT_FALSE(BfsReaches(g, 0, 1, PathMode::kReflexive));
+  EXPECT_FALSE(AnswerOnCompressed(rc, {0, 1}, PathMode::kReflexive,
+                                  ReachAlgorithm::kBfs));
+}
+
+TEST(ReachQueriesTest, SameCyclicClassAnsweredTrue) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(1, 2);
+  const ReachCompression rc = CompressR(g);
+  EXPECT_TRUE(AnswerOnCompressed(rc, {0, 1}, PathMode::kNonEmpty,
+                                 ReachAlgorithm::kBfs));
+  EXPECT_TRUE(AnswerOnCompressed(rc, {0, 0}, PathMode::kNonEmpty,
+                                 ReachAlgorithm::kBfs));
+}
+
+TEST(ReachQueriesTest, AllAlgorithmsAgreeOnCompressed) {
+  const Graph g = GenerateUniform(80, 240, 1, 11);
+  const ReachCompression rc = CompressR(g);
+  const auto queries = RandomReachQueries(g.num_nodes(), 200, 12);
+  for (const auto& q : queries) {
+    const bool bfs = AnswerOnCompressed(rc, q, PathMode::kReflexive,
+                                        ReachAlgorithm::kBfs);
+    EXPECT_EQ(AnswerOnCompressed(rc, q, PathMode::kReflexive,
+                                 ReachAlgorithm::kBiBfs),
+              bfs);
+    EXPECT_EQ(AnswerOnCompressed(rc, q, PathMode::kReflexive,
+                                 ReachAlgorithm::kDfs),
+              bfs);
+  }
+}
+
+TEST(ReachQueriesTest, FacadeAnswersMatchDirectEvaluation) {
+  const Graph g = GenerateUniform(100, 350, 1, 13);
+  const ReachabilityPreservingCompression scheme(g);
+  const auto queries = RandomReachQueries(g.num_nodes(), 300, 14);
+  for (const auto& q : queries) {
+    for (PathMode mode : {PathMode::kReflexive, PathMode::kNonEmpty}) {
+      EXPECT_EQ(scheme.Answer(q, mode), EvalReach(g, q.u, q.v, mode,
+                                                  ReachAlgorithm::kBfs))
+          << "(" << q.u << "," << q.v << ")";
+    }
+  }
+}
+
+TEST(ReachQueriesTest, RandomQueriesDeterministic) {
+  const auto a = RandomReachQueries(50, 20, 99);
+  const auto b = RandomReachQueries(50, 20, 99);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].u, b[i].u);
+    EXPECT_EQ(a[i].v, b[i].v);
+  }
+}
+
+}  // namespace
+}  // namespace qpgc

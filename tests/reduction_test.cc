@@ -1,0 +1,100 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "graph/reduction.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/uniform.h"
+#include "graph/closure.h"
+#include "graph/condensation.h"
+
+namespace qpgc {
+namespace {
+
+TEST(ReductionTest, RemovesTransitiveEdge) {
+  Graph dag(3);
+  dag.AddEdge(0, 1);
+  dag.AddEdge(1, 2);
+  dag.AddEdge(0, 2);  // redundant
+  const Graph r = TransitiveReductionDag(dag);
+  EXPECT_EQ(r.num_edges(), 2u);
+  EXPECT_TRUE(r.HasEdge(0, 1));
+  EXPECT_TRUE(r.HasEdge(1, 2));
+  EXPECT_FALSE(r.HasEdge(0, 2));
+}
+
+TEST(ReductionTest, DiamondKept) {
+  Graph dag(4);
+  dag.AddEdge(0, 1);
+  dag.AddEdge(0, 2);
+  dag.AddEdge(1, 3);
+  dag.AddEdge(2, 3);
+  const Graph r = TransitiveReductionDag(dag);
+  EXPECT_EQ(r.num_edges(), 4u);  // nothing redundant in a diamond
+}
+
+TEST(ReductionTest, SelfLoopsPreserved) {
+  Graph dag(2);
+  dag.AddEdge(0, 0);
+  dag.AddEdge(0, 1);
+  const Graph r = TransitiveReductionDag(dag);
+  EXPECT_TRUE(r.HasEdge(0, 0));
+  EXPECT_TRUE(r.HasEdge(0, 1));
+}
+
+TEST(ReductionTest, SelfLoopNotAWitness) {
+  // 0 has a self-loop and an edge to 1; the self-loop must not count as an
+  // alternate path 0 -> 1.
+  Graph dag(2);
+  dag.AddEdge(0, 0);
+  dag.AddEdge(0, 1);
+  const Graph r = TransitiveReductionDag(dag);
+  EXPECT_TRUE(r.HasEdge(0, 1));
+}
+
+TEST(ReductionTest, PreservesClosure) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    const Graph g = GenerateUniform(60, 220, 1, seed);
+    const Graph dag = BuildCondensation(g).dag;
+    const Graph r = TransitiveReductionDag(dag, /*block_cols=*/13);
+    const BitMatrix before = DagClosure(dag, {});
+    const BitMatrix after = DagClosure(r, {});
+    for (NodeId u = 0; u < dag.num_nodes(); ++u) {
+      for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+        EXPECT_EQ(before.Test(u, v), after.Test(u, v)) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(ReductionTest, ReductionIsMinimal) {
+  // Removing any further edge from the reduction must change the closure.
+  const Graph g = GenerateUniform(30, 80, 1, 9);
+  const Graph dag = BuildCondensation(g).dag;
+  Graph r = TransitiveReductionDag(dag);
+  const BitMatrix closure = DagClosure(r, {});
+  for (const auto& [u, v] : r.EdgeList()) {
+    if (u == v) continue;
+    Graph pruned = r;
+    pruned.RemoveEdge(u, v);
+    const BitMatrix c2 = DagClosure(pruned, {});
+    EXPECT_FALSE(c2.Test(u, v)) << "edge (" << u << "," << v
+                                << ") was redundant in the reduction";
+  }
+}
+
+TEST(ReductionTest, CountMatchesMaterialized) {
+  const Graph g = GenerateUniform(50, 200, 1, 10);
+  const Graph dag = BuildCondensation(g).dag;
+  const Graph r = TransitiveReductionDag(dag);
+  EXPECT_EQ(CountRedundantEdgesDag(dag), dag.num_edges() - r.num_edges());
+}
+
+TEST(ReductionTest, EmptyGraph) {
+  Graph dag(0);
+  const Graph r = TransitiveReductionDag(dag);
+  EXPECT_EQ(r.num_nodes(), 0u);
+}
+
+}  // namespace
+}  // namespace qpgc

@@ -1,0 +1,101 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace qpgc {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t x = rng.UniformInt(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+    saw_lo |= (x == -3);
+    saw_hi |= (x == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.UniformDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);  // crude uniformity check
+}
+
+TEST(RngTest, UniformIsRoughlyUnbiased) {
+  Rng rng(13);
+  std::vector<int> counts(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.Uniform(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kDraws, 0.1, 0.01);
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(ZipfTest, RankZeroMostFrequent) {
+  Rng rng(23);
+  const ZipfSampler zipf(50, 1.0);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[49]);
+}
+
+TEST(ZipfTest, SingleValueAlphabet) {
+  Rng rng(29);
+  const ZipfSampler zipf(1, 1.0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+TEST(ZipfTest, CoversSupport) {
+  Rng rng(31);
+  const ZipfSampler zipf(4, 0.5);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(rng)];
+  for (int c : counts) EXPECT_GT(c, 0);
+}
+
+}  // namespace
+}  // namespace qpgc

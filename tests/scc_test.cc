@@ -1,0 +1,122 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "graph/scc.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/condensation.h"
+
+namespace qpgc {
+namespace {
+
+TEST(SccTest, Singletons) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  const SccResult r = ComputeScc(g);
+  EXPECT_EQ(r.num_components, 3u);
+  for (size_t c = 0; c < 3; ++c) EXPECT_FALSE(r.cyclic[c]);
+}
+
+TEST(SccTest, OneBigCycle) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 0);
+  const SccResult r = ComputeScc(g);
+  EXPECT_EQ(r.num_components, 1u);
+  EXPECT_TRUE(r.cyclic[0]);
+  EXPECT_EQ(r.members[0].size(), 4u);
+}
+
+TEST(SccTest, SelfLoopIsCyclic) {
+  Graph g(2);
+  g.AddEdge(0, 0);
+  g.AddEdge(0, 1);
+  const SccResult r = ComputeScc(g);
+  EXPECT_EQ(r.num_components, 2u);
+  EXPECT_TRUE(r.cyclic[r.component[0]]);
+  EXPECT_FALSE(r.cyclic[r.component[1]]);
+}
+
+TEST(SccTest, ReverseTopologicalIds) {
+  // Two SCCs A = {0,1}, B = {2,3}, edge A -> B: id(A) > id(B).
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 2);
+  g.AddEdge(1, 2);
+  const SccResult r = ComputeScc(g);
+  EXPECT_EQ(r.num_components, 2u);
+  EXPECT_GT(r.component[0], r.component[2]);
+}
+
+TEST(SccTest, MembersPartitionNodes) {
+  Graph g(7);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(2, 3);
+  g.AddEdge(4, 5);
+  g.AddEdge(5, 6);
+  g.AddEdge(6, 4);
+  const SccResult r = ComputeScc(g);
+  size_t total = 0;
+  for (const auto& m : r.members) total += m.size();
+  EXPECT_EQ(total, 7u);
+  for (NodeId v = 0; v < 7; ++v) {
+    const auto& m = r.members[r.component[v]];
+    EXPECT_NE(std::find(m.begin(), m.end(), v), m.end());
+  }
+}
+
+TEST(SccTest, DeepChainNoStackOverflow) {
+  // 200k-node chain would blow a recursive Tarjan; iterative must survive.
+  const size_t n = 200000;
+  Graph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.AddEdge(v, v + 1);
+  const SccResult r = ComputeScc(g);
+  EXPECT_EQ(r.num_components, n);
+}
+
+TEST(CondensationTest, DagAndMapping) {
+  // Cycle {0,1} -> 2 -> cycle {3,4}.
+  Graph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 3);
+  const Condensation cond = BuildCondensation(g);
+  EXPECT_EQ(cond.dag.num_nodes(), 3u);
+  EXPECT_EQ(cond.dag.num_edges(), 2u);
+  // No self-loops in the condensation.
+  for (NodeId c = 0; c < cond.dag.num_nodes(); ++c) {
+    EXPECT_FALSE(cond.dag.HasEdge(c, c));
+  }
+  const NodeId c01 = cond.scc.component[0];
+  const NodeId c2 = cond.scc.component[2];
+  const NodeId c34 = cond.scc.component[3];
+  EXPECT_TRUE(cond.dag.HasEdge(c01, c2));
+  EXPECT_TRUE(cond.dag.HasEdge(c2, c34));
+  EXPECT_TRUE(cond.scc.cyclic[c01]);
+  EXPECT_FALSE(cond.scc.cyclic[c2]);
+  EXPECT_TRUE(cond.scc.cyclic[c34]);
+}
+
+TEST(CondensationTest, ParallelMemberEdgesDeduplicated) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);  // SCC {0,1}
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 2);  // two member edges into node 2
+  g.AddEdge(2, 3);
+  const Condensation cond = BuildCondensation(g);
+  EXPECT_EQ(cond.dag.num_nodes(), 3u);
+  EXPECT_EQ(cond.dag.num_edges(), 2u);  // deduplicated
+}
+
+}  // namespace
+}  // namespace qpgc

@@ -1,0 +1,102 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "core/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "gen/uniform.h"
+#include "reach/queries.h"
+#include "test_util.h"
+
+namespace qpgc {
+namespace {
+
+TEST(SerializationTest, ReachRoundTrip) {
+  const Graph g = GenerateUniform(120, 400, 1, 3);
+  const ReachCompression rc = CompressR(g);
+  const std::string path = ::testing::TempDir() + "/qpgc_reach_artifact.txt";
+  ASSERT_TRUE(SaveReachCompression(rc, path).ok());
+  auto loaded = LoadReachCompression(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectEquivalentReachCompression(rc, loaded.value());
+  EXPECT_EQ(loaded.value().original_size, rc.original_size);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, LoadedArtifactAnswersQueries) {
+  const Graph g = GenerateUniform(100, 350, 1, 5);
+  const ReachCompression rc = CompressR(g);
+  const std::string path = ::testing::TempDir() + "/qpgc_reach_q.txt";
+  ASSERT_TRUE(SaveReachCompression(rc, path).ok());
+  const ReachCompression loaded = LoadReachCompression(path).value();
+  for (const auto& q : RandomReachQueries(g.num_nodes(), 100, 7)) {
+    EXPECT_EQ(AnswerOnCompressed(loaded, q, PathMode::kReflexive,
+                                 ReachAlgorithm::kBfs),
+              EvalReach(g, q.u, q.v, PathMode::kReflexive,
+                        ReachAlgorithm::kBfs));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, PatternRoundTrip) {
+  const Graph g = GenerateUniform(120, 400, 4, 9);
+  const PatternCompression pc = CompressB(g);
+  const std::string path = ::testing::TempDir() + "/qpgc_pattern_artifact.txt";
+  ASSERT_TRUE(SavePatternCompression(pc, path).ok());
+  auto loaded = LoadPatternCompression(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectEquivalentPatternCompression(pc, loaded.value());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RejectsBadMagic) {
+  const std::string path = ::testing::TempDir() + "/qpgc_bad_magic.txt";
+  {
+    std::ofstream out(path);
+    out << "not-an-artifact\n1 1 1\n0\n0\n0\n0\n";
+  }
+  EXPECT_FALSE(LoadReachCompression(path).ok());
+  EXPECT_FALSE(LoadPatternCompression(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RejectsTruncated) {
+  const Graph g = GenerateUniform(50, 150, 1, 11);
+  const ReachCompression rc = CompressR(g);
+  const std::string path = ::testing::TempDir() + "/qpgc_trunc.txt";
+  ASSERT_TRUE(SaveReachCompression(rc, path).ok());
+  // Truncate the file to half.
+  std::string content;
+  {
+    std::ifstream in(path);
+    content.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  {
+    std::ofstream out(path);
+    out << content.substr(0, content.size() / 2);
+  }
+  EXPECT_FALSE(LoadReachCompression(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RejectsOutOfRangeNodeMap) {
+  const std::string path = ::testing::TempDir() + "/qpgc_badmap.txt";
+  {
+    std::ofstream out(path);
+    // 1 class, 2 nodes, node 1 mapped to class 7 (out of range).
+    out << "qpgc-reach-v2\n1 2 4\n0\n0\n0 7\n0\n0\n";
+  }
+  EXPECT_FALSE(LoadReachCompression(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, MissingFile) {
+  EXPECT_FALSE(LoadReachCompression("/nonexistent/rc.txt").ok());
+  EXPECT_FALSE(LoadPatternCompression("/nonexistent/pc.txt").ok());
+}
+
+}  // namespace
+}  // namespace qpgc

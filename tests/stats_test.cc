@@ -1,0 +1,46 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "graph/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace qpgc {
+namespace {
+
+TEST(StatsTest, SimpleGraph) {
+  Graph g(5);
+  g.set_label(0, 1);
+  g.set_label(1, 2);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);  // cycle {0,1,2}
+  g.AddEdge(2, 3);
+  const GraphStats s = ComputeStats(g);
+  EXPECT_EQ(s.num_nodes, 5u);
+  EXPECT_EQ(s.num_edges, 4u);
+  EXPECT_EQ(s.num_labels, 3u);  // 1, 2, kNoLabel
+  EXPECT_EQ(s.largest_scc, 3u);
+  EXPECT_EQ(s.num_sccs, 3u);
+  EXPECT_DOUBLE_EQ(s.cyclic_node_fraction, 3.0 / 5.0);
+  EXPECT_EQ(s.num_sources, 1u);  // node 4
+  EXPECT_EQ(s.num_sinks, 2u);    // nodes 3, 4
+  EXPECT_EQ(s.max_out_degree, 2u);
+}
+
+TEST(StatsTest, EmptyGraph) {
+  const GraphStats s = ComputeStats(Graph(0));
+  EXPECT_EQ(s.num_nodes, 0u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 0.0);
+  EXPECT_DOUBLE_EQ(s.cyclic_node_fraction, 0.0);
+}
+
+TEST(StatsTest, FormatContainsKeyFields) {
+  Graph g(2);
+  g.AddEdge(0, 1);
+  const std::string s = FormatStats(ComputeStats(g));
+  EXPECT_NE(s.find("|V|=2"), std::string::npos);
+  EXPECT_NE(s.find("SCCs=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qpgc

@@ -1,0 +1,140 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "graph/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/uniform.h"
+#include "reach/equivalence.h"
+
+namespace qpgc {
+namespace {
+
+TEST(TopologyTest, TopologicalOrderRespectsEdges) {
+  Graph g(5);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  const auto order = TopologicalOrder(g);
+  std::vector<size_t> pos(5);
+  for (size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  g.ForEachEdge([&](NodeId u, NodeId v) { EXPECT_LT(pos[u], pos[v]); });
+}
+
+TEST(TopologyTest, SelfLoopsTolerated) {
+  Graph g(3);
+  g.AddEdge(0, 0);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  const auto order = TopologicalOrder(g);
+  EXPECT_EQ(order.size(), 3u);
+}
+
+TEST(TopologyTest, ReverseTopoIsReversed) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  const auto fwd = TopologicalOrder(g);
+  auto rev = ReverseTopologicalOrder(g);
+  std::reverse(rev.begin(), rev.end());
+  EXPECT_EQ(fwd, rev);
+}
+
+TEST(TopologyTest, ReachTopoRanksChain) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  const auto r = ReachTopoRanks(g);
+  EXPECT_EQ(r[3], 0u);
+  EXPECT_EQ(r[2], 1u);
+  EXPECT_EQ(r[1], 2u);
+  EXPECT_EQ(r[0], 3u);
+}
+
+TEST(TopologyTest, SccMembersShareRank) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  const auto r = ReachTopoRanks(g);
+  EXPECT_EQ(r[0], r[1]);
+  EXPECT_GT(r[0], r[2]);
+}
+
+// Lemma 7: (u, v) in Re implies r(u) = r(v) — on random graphs.
+TEST(TopologyTest, Lemma7RankInvariantOnRandomGraphs) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const Graph g = GenerateUniform(120, 400, 1, seed);
+    const auto ranks = ReachTopoRanks(g);
+    const ReachPartition part = ComputeReachEquivalenceRef(g);
+    for (const auto& cls : part.members) {
+      for (size_t i = 1; i < cls.size(); ++i) {
+        EXPECT_EQ(ranks[cls[i]], ranks[cls[0]])
+            << "Lemma 7 violated, seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(TopologyTest, WellFoundedBasics) {
+  // 0 -> 1 -> (2 <-> 3); 4 isolated.
+  Graph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 2);
+  const auto wf = WellFounded(g);
+  EXPECT_FALSE(wf[0]);  // reaches the cycle
+  EXPECT_FALSE(wf[1]);
+  EXPECT_FALSE(wf[2]);  // on the cycle
+  EXPECT_TRUE(wf[4]);
+}
+
+TEST(TopologyTest, BisimRanksLeafAndCycle) {
+  // Leaf: rank 0. Cyclic sink SCC: rank -inf. Node above the cycle: -inf
+  // children contribute their own rank.
+  Graph g(4);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 1);  // cyclic sink SCC {1,2}
+  g.AddEdge(3, 1);  // above the cycle
+  const auto rb = BisimRanks(g);
+  EXPECT_EQ(rb[0], 0);  // isolated leaf
+  EXPECT_EQ(rb[1], kRankNegInf);
+  EXPECT_EQ(rb[2], kRankNegInf);
+  EXPECT_EQ(rb[3], kRankNegInf);  // NWF child contributes rb, not rb+1
+}
+
+TEST(TopologyTest, BisimRanksWellFoundedChain) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  const auto rb = BisimRanks(g);
+  EXPECT_EQ(rb[2], 0);
+  EXPECT_EQ(rb[1], 1);
+  EXPECT_EQ(rb[0], 2);
+}
+
+TEST(TopologyTest, BisimRanksMixedChildren) {
+  // 4 -> leaf(5) and 4 -> cycle{1,2}: rank = max(0 + 1, -inf) = 1.
+  Graph g(6);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 1);
+  g.AddEdge(4, 5);
+  g.AddEdge(4, 1);
+  const auto rb = BisimRanks(g);
+  EXPECT_EQ(rb[5], 0);
+  EXPECT_EQ(rb[4], 1);
+}
+
+TEST(TopologyTest, SelfLoopIsNegInfRank) {
+  Graph g(1);
+  g.AddEdge(0, 0);
+  const auto rb = BisimRanks(g);
+  EXPECT_EQ(rb[0], kRankNegInf);
+}
+
+}  // namespace
+}  // namespace qpgc

@@ -1,0 +1,129 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "graph/traversal.h"
+
+#include <gtest/gtest.h>
+
+namespace qpgc {
+namespace {
+
+// Chain 0 -> 1 -> 2 -> 3 plus a cycle 4 <-> 5.
+Graph ChainAndCycle() {
+  Graph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(4, 5);
+  g.AddEdge(5, 4);
+  return g;
+}
+
+TEST(TraversalTest, BfsDistances) {
+  const Graph g = ChainAndCycle();
+  const auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[3], 3u);
+  EXPECT_EQ(dist[4], kUnreachedDist);
+}
+
+TEST(TraversalTest, BackwardBfsDistances) {
+  const Graph g = ChainAndCycle();
+  const auto dist = BfsDistances(g, 3, Direction::kBackward);
+  EXPECT_EQ(dist[3], 0u);
+  EXPECT_EQ(dist[0], 3u);
+  EXPECT_EQ(dist[5], kUnreachedDist);
+}
+
+TEST(TraversalTest, ReflexiveVsNonEmptySelfReach) {
+  const Graph g = ChainAndCycle();
+  // Node 0 is not on a cycle.
+  EXPECT_TRUE(BfsReaches(g, 0, 0, PathMode::kReflexive));
+  EXPECT_FALSE(BfsReaches(g, 0, 0, PathMode::kNonEmpty));
+  // Node 4 is on a cycle.
+  EXPECT_TRUE(BfsReaches(g, 4, 4, PathMode::kNonEmpty));
+}
+
+TEST(TraversalTest, AllThreeAlgorithmsAgree) {
+  const Graph g = ChainAndCycle();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      for (PathMode mode : {PathMode::kReflexive, PathMode::kNonEmpty}) {
+        const bool bfs = BfsReaches(g, u, v, mode);
+        EXPECT_EQ(BidirectionalReaches(g, u, v, mode), bfs)
+            << "BiBFS disagrees at (" << u << "," << v << ")";
+        EXPECT_EQ(DfsReaches(g, u, v, mode), bfs)
+            << "DFS disagrees at (" << u << "," << v << ")";
+      }
+    }
+  }
+}
+
+TEST(TraversalTest, SelfLoopIsNonEmptySelfPath) {
+  Graph g(2);
+  g.AddEdge(0, 0);
+  EXPECT_TRUE(BfsReaches(g, 0, 0, PathMode::kNonEmpty));
+  EXPECT_FALSE(BfsReaches(g, 1, 1, PathMode::kNonEmpty));
+}
+
+TEST(TraversalTest, BoundedMultiSourceBackward) {
+  // 0 -> 1 -> 2 -> 3; sources {3}: depth 1 reaches {2}, depth 2 {1, 2}.
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  const NodeId sources[] = {3};
+  const Bitset d1 =
+      BoundedMultiSourceReach(g, sources, 1, Direction::kBackward);
+  EXPECT_TRUE(d1.Test(2));
+  EXPECT_FALSE(d1.Test(1));
+  EXPECT_FALSE(d1.Test(3));  // non-empty paths only
+  const Bitset d2 =
+      BoundedMultiSourceReach(g, sources, 2, Direction::kBackward);
+  EXPECT_TRUE(d2.Test(1));
+  EXPECT_TRUE(d2.Test(2));
+  const Bitset all =
+      BoundedMultiSourceReach(g, sources, kUnboundedDepth, Direction::kBackward);
+  EXPECT_TRUE(all.Test(0));
+}
+
+TEST(TraversalTest, BoundedReachSourceOnCycleMarksItself) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  const NodeId sources[] = {0};
+  const Bitset b =
+      BoundedMultiSourceReach(g, sources, kUnboundedDepth, Direction::kBackward);
+  EXPECT_TRUE(b.Test(0));  // reaches itself around the cycle
+  EXPECT_TRUE(b.Test(1));
+}
+
+TEST(TraversalTest, ZeroDepthReachesNothing) {
+  Graph g(2);
+  g.AddEdge(0, 1);
+  const NodeId sources[] = {1};
+  const Bitset b = BoundedMultiSourceReach(g, sources, 0, Direction::kBackward);
+  EXPECT_TRUE(b.None());
+}
+
+TEST(TraversalTest, DescendantsAndAncestors) {
+  const Graph g = ChainAndCycle();
+  const Bitset desc = Descendants(g, 0);
+  EXPECT_TRUE(desc.Test(1));
+  EXPECT_TRUE(desc.Test(3));
+  EXPECT_FALSE(desc.Test(0));
+  EXPECT_FALSE(desc.Test(4));
+  const Bitset anc = Ancestors(g, 3);
+  EXPECT_TRUE(anc.Test(0));
+  EXPECT_FALSE(anc.Test(3));
+}
+
+TEST(TraversalTest, OnCycle) {
+  const Graph g = ChainAndCycle();
+  EXPECT_FALSE(OnCycle(g, 0));
+  EXPECT_TRUE(OnCycle(g, 4));
+  EXPECT_TRUE(OnCycle(g, 5));
+}
+
+}  // namespace
+}  // namespace qpgc

@@ -1,0 +1,117 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "inc/update.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/uniform.h"
+#include "gen/update_gen.h"
+
+namespace qpgc {
+namespace {
+
+TEST(UpdateTest, ApplyInsertAndDelete) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  UpdateBatch batch;
+  batch.Insert(1, 2);
+  batch.Delete(0, 1);
+  const UpdateBatch effective = ApplyBatch(g, batch);
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_EQ(effective.size(), 2u);
+  EXPECT_EQ(effective.NumInsertions(), 1u);
+  EXPECT_EQ(effective.NumDeletions(), 1u);
+}
+
+TEST(UpdateTest, NoOpInsertDropped) {
+  Graph g(2);
+  g.AddEdge(0, 1);
+  UpdateBatch batch;
+  batch.Insert(0, 1);  // already present
+  const UpdateBatch effective = ApplyBatch(g, batch);
+  EXPECT_TRUE(effective.empty());
+}
+
+TEST(UpdateTest, NoOpDeleteDropped) {
+  Graph g(2);
+  UpdateBatch batch;
+  batch.Delete(0, 1);  // not present
+  const UpdateBatch effective = ApplyBatch(g, batch);
+  EXPECT_TRUE(effective.empty());
+}
+
+TEST(UpdateTest, CancellingPairDropped) {
+  // The paper's minDelta "cancellation" rule at batch level: insert then
+  // delete the same edge has no net effect.
+  Graph g(2);
+  UpdateBatch batch;
+  batch.Insert(0, 1);
+  batch.Delete(0, 1);
+  const UpdateBatch effective = ApplyBatch(g, batch);
+  EXPECT_TRUE(effective.empty());
+  EXPECT_FALSE(g.HasEdge(0, 1));
+}
+
+TEST(UpdateTest, DeleteThenReinsertDropped) {
+  Graph g(2);
+  g.AddEdge(0, 1);
+  UpdateBatch batch;
+  batch.Delete(0, 1);
+  batch.Insert(0, 1);
+  const UpdateBatch effective = ApplyBatch(g, batch);
+  EXPECT_TRUE(effective.empty());
+  EXPECT_TRUE(g.HasEdge(0, 1));
+}
+
+TEST(UpdateTest, LastWriteWins) {
+  Graph g(2);
+  UpdateBatch batch;
+  batch.Insert(0, 1);
+  batch.Delete(0, 1);
+  batch.Insert(0, 1);
+  const UpdateBatch effective = ApplyBatch(g, batch);
+  ASSERT_EQ(effective.size(), 1u);
+  EXPECT_TRUE(effective.updates[0].is_insert);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+}
+
+TEST(UpdateGenTest, InsertionsAreFresh) {
+  const Graph g = GenerateUniform(100, 300, 1, 5);
+  const UpdateBatch batch = RandomInsertions(g, 50, 7);
+  EXPECT_EQ(batch.size(), 50u);
+  for (const auto& up : batch.updates) {
+    EXPECT_TRUE(up.is_insert);
+    EXPECT_FALSE(g.HasEdge(up.u, up.v));
+    EXPECT_NE(up.u, up.v);
+  }
+}
+
+TEST(UpdateGenTest, DeletionsExist) {
+  const Graph g = GenerateUniform(100, 300, 1, 5);
+  const UpdateBatch batch = RandomDeletions(g, 40, 9);
+  EXPECT_EQ(batch.size(), 40u);
+  for (const auto& up : batch.updates) {
+    EXPECT_FALSE(up.is_insert);
+    EXPECT_TRUE(g.HasEdge(up.u, up.v));
+  }
+}
+
+TEST(UpdateGenTest, DeletionsCappedByEdgeCount) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  const UpdateBatch batch = RandomDeletions(g, 100, 11);
+  EXPECT_EQ(batch.size(), 2u);
+}
+
+TEST(UpdateGenTest, MixedComposition) {
+  const Graph g = GenerateUniform(100, 300, 1, 5);
+  const UpdateBatch batch = RandomMixed(g, 60, 0.5, 13);
+  EXPECT_EQ(batch.size(), 60u);
+  EXPECT_EQ(batch.NumInsertions(), 30u);
+  EXPECT_EQ(batch.NumDeletions(), 30u);
+}
+
+}  // namespace
+}  // namespace qpgc

@@ -1,0 +1,200 @@
+// Copyright 2026 The QPGC Authors.
+//
+// qpgc_tool — command-line front end for the library. Compress SNAP-style
+// edge lists offline, inspect artifacts, and serve reachability queries
+// from a compressed artifact without ever loading the original graph.
+//
+//   qpgc_tool stats     <edges> [labels]          graph statistics
+//   qpgc_tool compress  <edges> <artifact>        reachability compression
+//   qpgc_tool compressb <edges> <labels> <out>    pattern compression
+//   qpgc_tool query     <artifact> <u> <v>        QR(u, v) from the artifact
+//   qpgc_tool info      <artifact>                artifact summary
+//   qpgc_tool dataset   <name> <edges-out>        emit a catalog stand-in
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/serialization.h"
+#include "gen/dataset_catalog.h"
+#include "graph/io.h"
+#include "graph/stats.h"
+#include "reach/compress_r.h"
+#include "reach/queries.h"
+#include "util/memory.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace qpgc;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  qpgc_tool stats     <edges> [labels]\n"
+               "  qpgc_tool compress  <edges> <artifact-out>\n"
+               "  qpgc_tool compressb <edges> <labels> <artifact-out>\n"
+               "  qpgc_tool query     <artifact> <u> <v>\n"
+               "  qpgc_tool info      <artifact>\n"
+               "  qpgc_tool dataset   <name> <edges-out>\n");
+  return 2;
+}
+
+Result<Graph> LoadGraphArg(const char* edges, const char* labels) {
+  auto loaded = LoadEdgeList(edges);
+  if (!loaded.ok()) return loaded;
+  if (labels != nullptr) {
+    Graph g = std::move(loaded).value();
+    const Status s = LoadLabels(g, labels);
+    if (!s.ok()) return s;
+    return g;
+  }
+  return loaded;
+}
+
+int CmdStats(const char* edges, const char* labels) {
+  auto loaded = LoadGraphArg(edges, labels);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  const Graph& g = loaded.value();
+  std::printf("%s\n%s\nmemory: %s\n", g.DebugString().c_str(),
+              FormatStats(ComputeStats(g)).c_str(),
+              FormatBytes(g.MemoryBytes()).c_str());
+  return 0;
+}
+
+int CmdCompress(const char* edges, const char* out) {
+  auto loaded = LoadEdgeList(edges);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  const Graph& g = loaded.value();
+  Timer t;
+  const ReachCompression rc = CompressR(g);
+  std::printf("compressR: %.1fms;  |G| = %zu -> |Gr| = %zu  (RCr = %.2f%%)\n",
+              t.ElapsedMillis(), g.size(), rc.size(),
+              rc.CompressionRatio() * 100);
+  const Status s = SaveReachCompression(rc, out);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("artifact written to %s\n", out);
+  return 0;
+}
+
+int CmdCompressB(const char* edges, const char* labels, const char* out) {
+  auto loaded = LoadGraphArg(edges, labels);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  const Graph& g = loaded.value();
+  Timer t;
+  const PatternCompression pc = CompressB(g);
+  std::printf("compressB: %.1fms;  |G| = %zu -> |Gr| = %zu  (PCr = %.2f%%)\n",
+              t.ElapsedMillis(), g.size(), pc.size(),
+              pc.CompressionRatio() * 100);
+  const Status s = SavePatternCompression(pc, out);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("artifact written to %s\n", out);
+  return 0;
+}
+
+int CmdQuery(const char* artifact, const char* u_str, const char* v_str) {
+  auto loaded = LoadReachCompression(artifact);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  const ReachCompression& rc = loaded.value();
+  const unsigned long u = std::strtoul(u_str, nullptr, 10);
+  const unsigned long v = std::strtoul(v_str, nullptr, 10);
+  if (u >= rc.node_map.size() || v >= rc.node_map.size()) {
+    std::fprintf(stderr, "node out of range (|V| = %zu)\n",
+                 rc.node_map.size());
+    return 1;
+  }
+  const ReachQuery q{static_cast<NodeId>(u), static_cast<NodeId>(v)};
+  const bool answer =
+      AnswerOnCompressed(rc, q, PathMode::kReflexive, ReachAlgorithm::kBfs);
+  std::printf("QR(%lu, %lu) = %s   [rewritten to QR(%u, %u) on Gr]\n", u, v,
+              answer ? "true" : "false", rc.node_map[q.u], rc.node_map[q.v]);
+  return 0;
+}
+
+int CmdInfo(const char* artifact) {
+  auto rc = LoadReachCompression(artifact);
+  if (rc.ok()) {
+    const ReachCompression& r = rc.value();
+    std::printf("reachability artifact: %s\n", r.gr.DebugString().c_str());
+    std::printf("original |V| = %zu, |G| = %zu, RCr = %.2f%%\n",
+                r.original_num_nodes, r.original_size,
+                r.CompressionRatio() * 100);
+    std::printf("memory: %s\n", FormatBytes(r.MemoryBytes()).c_str());
+    return 0;
+  }
+  auto pc = LoadPatternCompression(artifact);
+  if (pc.ok()) {
+    const PatternCompression& p = pc.value();
+    std::printf("pattern artifact: %s\n", p.gr.DebugString().c_str());
+    std::printf("original |V| = %zu, |G| = %zu, PCr = %.2f%%\n",
+                p.original_num_nodes, p.original_size,
+                p.CompressionRatio() * 100);
+    std::printf("memory: %s\n", FormatBytes(p.MemoryBytes()).c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "not a qpgc artifact: %s\n", artifact);
+  return 1;
+}
+
+int CmdDataset(const char* name, const char* out) {
+  const Graph g = MakeDataset(FindDataset(name));
+  const Status s = SaveEdgeList(g, out);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s stand-in written to %s (%s)\n", name, out,
+              g.DebugString().c_str());
+  if (g.CountDistinctLabels() > 1) {
+    const std::string label_path = std::string(out) + ".labels";
+    if (SaveLabels(g, label_path).ok()) {
+      std::printf("labels written to %s\n", label_path.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const char* cmd = argv[1];
+  if (std::strcmp(cmd, "stats") == 0 && (argc == 3 || argc == 4)) {
+    return CmdStats(argv[2], argc == 4 ? argv[3] : nullptr);
+  }
+  if (std::strcmp(cmd, "compress") == 0 && argc == 4) {
+    return CmdCompress(argv[2], argv[3]);
+  }
+  if (std::strcmp(cmd, "compressb") == 0 && argc == 5) {
+    return CmdCompressB(argv[2], argv[3], argv[4]);
+  }
+  if (std::strcmp(cmd, "query") == 0 && argc == 5) {
+    return CmdQuery(argv[2], argv[3], argv[4]);
+  }
+  if (std::strcmp(cmd, "info") == 0 && argc == 3) {
+    return CmdInfo(argv[2]);
+  }
+  if (std::strcmp(cmd, "dataset") == 0 && argc == 4) {
+    return CmdDataset(argv[2], argv[3]);
+  }
+  return Usage();
+}
