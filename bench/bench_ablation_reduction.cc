@@ -39,6 +39,8 @@ int main() {
     std::printf("%-12s | %10zu %10zu %10zu %10zu | %9s\n", spec.name.c_str(),
                 g.size(), cond.dag.size(), rc_no_tr.size(), rc.size(),
                 bench::Pct(tr_saving).c_str());
+    bench::Metric("tr_saving." + spec.name, tr_saving);
+    bench::Metric("gr_size." + spec.name, static_cast<double>(rc.size()));
   }
   bench::Rule();
   std::printf("reading: |Gscc| is the SCC-collapse baseline the paper "

@@ -50,6 +50,11 @@ int main() {
                 bench::Secs(bfs_gr).c_str(), bench::Secs(bibfs_gr).c_str(),
                 bench::Pct(1.0 - bfs_gr / bfs_g).c_str(),
                 bench::Pct(rc.CompressionRatio()).c_str());
+    bench::Metric(std::string("bfs_g_secs.") + name, bfs_g);
+    bench::Metric(std::string("bibfs_g_secs.") + name, bibfs_g);
+    bench::Metric(std::string("bfs_gr_secs.") + name, bfs_gr);
+    bench::Metric(std::string("bibfs_gr_secs.") + name, bibfs_gr);
+    bench::Metric(std::string("rcr.") + name, rc.CompressionRatio());
   }
   bench::Rule();
   std::printf("expected shape: queries on Gr are a small fraction of G "

@@ -40,7 +40,11 @@ void RunDataset(const char* name) {
                 bench::Secs(t_g / kQueries).c_str(),
                 bench::Secs(t_gr / kQueries).c_str(),
                 bench::Pct(1.0 - t_gr / t_g).c_str());
+    const std::string prefix = std::string(name) + "." + std::to_string(size);
+    bench::Metric("match_g_secs." + prefix, t_g / kQueries);
+    bench::Metric("match_gr_secs." + prefix, t_gr / kQueries);
   }
+  bench::Metric(std::string("pcr.") + name, pc.CompressionRatio());
 }
 
 }  // namespace

@@ -44,7 +44,13 @@ int main() {
                   bench::Secs(t_g / kQueries).c_str(),
                   bench::Secs(t_gr / kQueries).c_str(),
                   bench::Pct(1.0 - t_gr / t_g).c_str());
+      const std::string prefix =
+          "L" + std::to_string(num_labels) + "." + std::to_string(size);
+      bench::Metric("match_g_secs." + prefix, t_g / kQueries);
+      bench::Metric("match_gr_secs." + prefix, t_gr / kQueries);
     }
+    bench::Metric("pcr.L" + std::to_string(num_labels),
+                  pc.CompressionRatio());
     std::printf("\n");
   }
   bench::Rule();

@@ -38,6 +38,14 @@ int main() {
                 bench::Pct(1.0 - static_cast<double>(gr_bytes) /
                                      static_cast<double>(g_bytes))
                     .c_str());
+    bench::Metric(std::string("g_bytes.") + name,
+                  static_cast<double>(g_bytes));
+    bench::Metric(std::string("gr_bytes.") + name,
+                  static_cast<double>(gr_bytes));
+    bench::Metric(std::string("twohop_g_bytes.") + name,
+                  static_cast<double>(on_g.MemoryBytes()));
+    bench::Metric(std::string("twohop_gr_bytes.") + name,
+                  static_cast<double>(on_gr.MemoryBytes()));
   }
   bench::Rule();
   std::printf("expected shape: Gr saves >=92%% of G's memory; 2-hop(G) >> "

@@ -46,6 +46,9 @@ int main() {
                 bench::Secs(t_inc).c_str(), bench::Secs(t_batch).c_str(),
                 stats.dissolved_classes, stats.hybrid_vertices,
                 t_inc < t_batch ? "  <- incRCM wins" : "");
+    const std::string suffix = "." + std::to_string(steps);
+    bench::Metric("inc_rcm_secs" + suffix, t_inc);
+    bench::Metric("compress_r_secs" + suffix, t_batch);
   }
   bench::Rule();
   std::printf("expected shape: incRCM beats compressR for small batches; "

@@ -50,6 +50,10 @@ int main() {
     std::printf("%-8zu | %12s %12s %12s | %9zu\n", batch.size(),
                 bench::Secs(t_inc).c_str(), bench::Secs(t_bsim).c_str(),
                 bench::Secs(t_batch).c_str(), stats.reduced_updates);
+    const std::string suffix = "." + std::to_string(steps);
+    bench::Metric("inc_pcm_secs" + suffix, t_inc);
+    bench::Metric("inc_bsim_secs" + suffix, t_bsim);
+    bench::Metric("compress_b_secs" + suffix, t_batch);
   }
   bench::Rule();
   std::printf("expected shape: incPCM beats IncBsim by orders of magnitude "

@@ -60,6 +60,9 @@ int main() {
                 bench::Secs(t_incmatch).c_str(),
                 bench::Secs(t_compressed).c_str(),
                 t_compressed < t_incmatch ? " <- compressed wins" : "");
+    const std::string suffix = "." + std::to_string(steps);
+    bench::Metric("inc_bmatch_secs" + suffix, t_incmatch);
+    bench::Metric("inc_pcm_match_secs" + suffix, t_compressed);
   }
   bench::Rule();
   std::printf("expected shape: IncBMatch grows with the batch while the "

@@ -41,6 +41,9 @@ int main() {
     std::printf("%-10d | %10zu %10zu %8s | %10zu %10zu %8s\n", iter, v105,
                 e105, bench::Pct(r105).c_str(), v110, e110,
                 bench::Pct(r110).c_str());
+    const std::string suffix = "." + std::to_string(iter);
+    bench::Metric("rcr_a105" + suffix, r105);
+    bench::Metric("rcr_a110" + suffix, r110);
   }
   bench::Rule();
   std::printf("expected shape: RCr decreases across iterations, faster for "

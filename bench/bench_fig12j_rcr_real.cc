@@ -36,6 +36,11 @@ int main() {
     std::printf("%-8d | %10s %10s %10s\n", step * 5,
                 bench::Pct(ratios[0]).c_str(), bench::Pct(ratios[1]).c_str(),
                 bench::Pct(ratios[2]).c_str());
+    for (int d = 0; d < 3; ++d) {
+      bench::Metric(std::string("rcr.") + datasets[d] + "." +
+                        std::to_string(step * 5),
+                    ratios[d]);
+    }
   }
   bench::Rule();
   std::printf("expected shape: RCr drifts down as preferential edges "

@@ -48,10 +48,13 @@ int main() {
                 bench::Pct(rc_aho).c_str(), bench::Pct(rc_scc).c_str(),
                 bench::Pct(rc_r).c_str(), bench::Pct(spec.paper_rc_r).c_str(),
                 bench::Secs(secs).c_str());
+    bench::Metric("rcr." + spec.name, rc_r);
+    bench::Metric("compress_secs." + spec.name, secs);
   }
   bench::Rule();
   std::printf("average RCr: %s   (paper: ~5%% average; reduction ~95%%)\n",
               bench::Pct(sum_rcr / count).c_str());
+  bench::Metric("avg_rcr", sum_rcr / count);
   std::printf("expected shape: RCr << RCscc << RCaho; social networks "
               "compress best.\n");
   return 0;

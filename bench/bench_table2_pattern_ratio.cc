@@ -32,10 +32,13 @@ int main() {
                 bench::Pct(pc.CompressionRatio()).c_str(),
                 bench::Pct(spec.paper_pc_r).c_str(),
                 bench::Secs(secs).c_str());
+    bench::Metric("pcr." + spec.name, pc.CompressionRatio());
+    bench::Metric("compress_secs." + spec.name, secs);
   }
   bench::Rule();
   std::printf("average PCr: %s   (paper: ~43%% average; reduction ~57%%)\n",
               bench::Pct(sum / count).c_str());
+  bench::Metric("avg_pcr", sum / count);
   std::printf("expected shape: pattern compression is weaker than "
               "reachability compression\n(label + topology constraints); "
               "diverse-topology datasets compress worst.\n");

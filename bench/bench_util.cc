@@ -36,6 +36,10 @@ std::string Pct(double ratio) {
   return std::string(buf);
 }
 
+void Metric(const std::string& key, double value) {
+  std::printf("[metric] %s=%.9g\n", key.c_str(), value);
+}
+
 std::string Secs(double seconds) {
   char buf[32];
   if (seconds >= 1.0) {

@@ -37,6 +37,12 @@ std::string Pct(double ratio);
 /// Formats seconds adaptively (s / ms / us).
 std::string Secs(double seconds);
 
+/// Records a named scalar result on stdout as "[metric] key=value".
+/// run_benches collects these lines into the per-bench BENCH_*.json, so a
+/// Metric call is what turns a printed number into a tracked one. Keys use
+/// dots for hierarchy, e.g. "rcr.socEpinions" or "bfs_gr_secs.P2P".
+void Metric(const std::string& key, double value);
+
 }  // namespace qpgc::bench
 
 #endif  // QPGC_BENCH_BENCH_UTIL_H_

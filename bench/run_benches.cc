@@ -1,0 +1,251 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Bench driver: runs each given bench binary, captures its stdout and wall
+// time, extracts the `[metric] key=value` lines emitted through
+// bench::Metric(), and writes one machine-readable BENCH_<name>.json per
+// bench (the leading "bench_" of the executable name is stripped). This is
+// what `cmake --build build --target bench` invokes; the JSON files are the
+// unit of the perf trajectory tracked across PRs.
+//
+//   run_benches [--out DIR] <bench-binary>...
+//
+// Exit code is the number of benches that failed (0 = all green).
+
+#include <sys/wait.h>
+
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+struct BenchRun {
+  std::string name;         // e.g. "table1_reach_ratio"
+  std::string command;      // full path to the binary
+  int exit_code = -1;
+  double wall_seconds = 0.0;
+  std::vector<std::pair<std::string, std::string>> metrics;  // key -> number
+  std::vector<std::string> stdout_lines;
+};
+
+std::string Basename(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+std::string BenchName(const std::string& path) {
+  std::string base = Basename(path);
+  if (base.rfind("bench_", 0) == 0) base = base.substr(6);
+  return base;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Validates that a parsed metric value is a bare JSON number, so a stray
+// "[metric] x=nan" cannot corrupt the output file.
+bool IsJsonNumber(const std::string& v) {
+  if (v.empty()) return false;
+  size_t i = (v[0] == '-') ? 1 : 0;
+  bool digits = false, dot = false, exp = false;
+  for (; i < v.size(); ++i) {
+    const char c = v[i];
+    if (c >= '0' && c <= '9') {
+      digits = true;
+    } else if (c == '.' && !dot && !exp) {
+      dot = true;
+    } else if ((c == 'e' || c == 'E') && digits && !exp) {
+      exp = true;
+      if (i + 1 < v.size() && (v[i + 1] == '+' || v[i + 1] == '-')) ++i;
+      digits = false;
+    } else {
+      return false;
+    }
+  }
+  return digits;
+}
+
+// Splits "[metric] key=value" into its parts; returns false for other lines.
+bool ParseMetricLine(const std::string& line, std::string* key,
+                     std::string* value) {
+  constexpr const char kPrefix[] = "[metric] ";
+  if (line.rfind(kPrefix, 0) != 0) return false;
+  const std::string rest = line.substr(sizeof(kPrefix) - 1);
+  const size_t eq = rest.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  *key = rest.substr(0, eq);
+  *value = rest.substr(eq + 1);
+  return IsJsonNumber(*value);
+}
+
+std::string Utc8601Now() {
+  const std::time_t now =
+      std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+  std::tm tm_utc;
+  gmtime_r(&now, &tm_utc);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return buf;
+}
+
+// Single-quotes a path for /bin/sh, closing and reopening the quote around
+// embedded apostrophes so paths like .../fan's-work/... survive popen.
+std::string ShellQuote(const std::string& path) {
+  std::string out = "'";
+  for (const char c : path) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
+  }
+  out += "'";
+  return out;
+}
+
+BenchRun RunOne(const std::string& exe) {
+  BenchRun run;
+  run.name = BenchName(exe);
+  run.command = exe;
+
+  const std::string cmd = ShellQuote(exe) + " 2>&1";
+  const auto start = std::chrono::steady_clock::now();
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    std::fprintf(stderr, "run_benches: failed to spawn %s\n", exe.c_str());
+    return run;
+  }
+  std::string current;
+  std::array<char, 4096> buf;
+  while (std::fgets(buf.data(), buf.size(), pipe) != nullptr) {
+    current += buf.data();
+    size_t nl;
+    while ((nl = current.find('\n')) != std::string::npos) {
+      std::string line = current.substr(0, nl);
+      current.erase(0, nl + 1);
+      // Stream the bench's output as it arrives so a hung or timed-out
+      // bench still leaves its partial progress in the log.
+      std::printf("%s\n", line.c_str());
+      std::fflush(stdout);
+      std::string key, value;
+      if (ParseMetricLine(line, &key, &value)) {
+        run.metrics.emplace_back(std::move(key), std::move(value));
+      } else if (line.rfind("[metric] ", 0) == 0) {
+        std::fprintf(stderr,
+                     "run_benches: %s: malformed metric line dropped from "
+                     "JSON: %s\n",
+                     run.name.c_str(), line.c_str());
+      }
+      run.stdout_lines.push_back(std::move(line));
+    }
+  }
+  if (!current.empty()) {
+    std::printf("%s\n", current.c_str());
+    run.stdout_lines.push_back(current);
+  }
+  const int status = pclose(pipe);
+  run.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (WIFEXITED(status)) {
+    run.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    run.exit_code = 128 + WTERMSIG(status);
+  }
+  return run;
+}
+
+bool WriteJson(const BenchRun& run, const std::string& out_dir) {
+  const std::string path = out_dir + "/BENCH_" + run.name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "run_benches: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << "{\n";
+  out << "  \"bench\": \"" << JsonEscape(run.name) << "\",\n";
+  out << "  \"command\": \"" << JsonEscape(run.command) << "\",\n";
+  out << "  \"timestamp_utc\": \"" << Utc8601Now() << "\",\n";
+  out << "  \"exit_code\": " << run.exit_code << ",\n";
+  char secs[32];
+  std::snprintf(secs, sizeof(secs), "%.6f", run.wall_seconds);
+  out << "  \"wall_seconds\": " << secs << ",\n";
+  out << "  \"metrics\": {";
+  for (size_t i = 0; i < run.metrics.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    \"" << JsonEscape(run.metrics[i].first)
+        << "\": " << run.metrics[i].second;
+  }
+  out << (run.metrics.empty() ? "},\n" : "\n  },\n");
+  out << "  \"stdout\": [";
+  for (size_t i = 0; i < run.stdout_lines.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    \"" << JsonEscape(run.stdout_lines[i]) << "\"";
+  }
+  out << (run.stdout_lines.empty() ? "]\n" : "\n  ]\n");
+  out << "}\n";
+  return out.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_dir = ".";
+  std::vector<std::string> benches;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else {
+      benches.emplace_back(argv[i]);
+    }
+  }
+  if (benches.empty()) {
+    std::fprintf(stderr, "usage: run_benches [--out DIR] <bench-binary>...\n");
+    return 2;
+  }
+
+  int failures = 0;
+  for (const std::string& exe : benches) {
+    std::printf("=== run_benches: %s\n", BenchName(exe).c_str());
+    std::fflush(stdout);
+    const BenchRun run = RunOne(exe);
+    const bool wrote = WriteJson(run, out_dir);
+    if (run.exit_code != 0 || !wrote) ++failures;
+    std::printf("=== %s: exit %d, %.2fs, %zu metrics -> BENCH_%s.json\n\n",
+                run.name.c_str(), run.exit_code, run.wall_seconds,
+                run.metrics.size(), run.name.c_str());
+    std::fflush(stdout);
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "run_benches: %d bench(es) failed\n", failures);
+  }
+  return failures;
+}

@@ -2,4 +2,12 @@
 
 #include "core/compression.h"
 
-namespace qpgc {}  // namespace qpgc
+namespace qpgc {
+
+double CompressionReport::ratio() const {
+  return original_size() == 0 ? 1.0
+                              : static_cast<double>(compressed_size()) /
+                                    static_cast<double>(original_size());
+}
+
+}  // namespace qpgc

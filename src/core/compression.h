@@ -34,11 +34,7 @@ struct CompressionReport {
   size_t original_size() const { return original_nodes + original_edges; }
   size_t compressed_size() const { return compressed_nodes + compressed_edges; }
   /// The paper's compression ratio |Gr| / |G| (smaller is better).
-  double ratio() const {
-    return original_size() == 0 ? 1.0
-                                : static_cast<double>(compressed_size()) /
-                                      static_cast<double>(original_size());
-  }
+  double ratio() const;
 };
 
 }  // namespace qpgc

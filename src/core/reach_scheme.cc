@@ -2,4 +2,10 @@
 
 #include "core/reach_scheme.h"
 
-namespace qpgc {}  // namespace qpgc
+namespace qpgc {
+
+ReachabilityPreservingCompression::ReachabilityPreservingCompression(
+    const Graph& g, const CompressROptions& options)
+    : rc_(CompressR(g, options)) {}
+
+}  // namespace qpgc

@@ -16,10 +16,11 @@ namespace qpgc {
 /// One-stop reachability preserving compression of a graph.
 class ReachabilityPreservingCompression {
  public:
-  /// Compresses g (runs compressR).
-  explicit ReachabilityPreservingCompression(const Graph& g,
-                                             const CompressROptions& options = {})
-      : rc_(CompressR(g, options)) {}
+  /// Compresses g (runs compressR). Out of line: this is the scheme's one
+  /// expensive entry point, and keeping it in reach_scheme.cc keeps the
+  /// facade header cheap to include.
+  explicit ReachabilityPreservingCompression(
+      const Graph& g, const CompressROptions& options = {});
 
   /// The query rewriting function F (O(1)).
   RewrittenReachQuery Rewrite(const ReachQuery& q) const {
