@@ -1,0 +1,94 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Ablation: Paige–Tarjan splitter refinement vs the fixpoint signature
+// engine across refinement-depth sweeps. The signature engine pays one
+// whole-partition round per unit of depth (Θ(depth · |E|) total); the
+// splitter engine stays O(|E| log |V|), so the gap widens linearly with
+// depth. Scenarios: unlabeled chains and layered DAGs (the depth ramps the
+// acceptance gate measures), plus broom and grid topologies at fixed size.
+// Every timed pair is also checked for partition equality, so this bench
+// doubles as a large-input differential test.
+//
+// Metrics: <scenario>.d<depth>.{pt_secs,sig_secs,speedup,blocks} and
+// summary.max_depth_speedup for the deepest chain.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "bisim/paige_tarjan.h"
+#include "bisim/partition.h"
+#include "bisim/signature_bisim.h"
+#include "gen/adversarial.h"
+#include "graph/graph.h"
+
+namespace qpgc {
+namespace {
+
+int failures = 0;
+
+// Times both engines on g, asserts identical partitions, emits metrics.
+// Returns the speedup (signature time / Paige–Tarjan time).
+double RunCase(const std::string& key, const Graph& g) {
+  Partition pt_result, sig_result;
+  const double pt_secs =
+      bench::TimeOnce([&] { pt_result = PaigeTarjanBisimulation(g); });
+  const double sig_secs =
+      bench::TimeOnce([&] { sig_result = SignatureBisimulation(g); });
+  if (!SamePartition(pt_result, sig_result)) {
+    std::printf("!! %s: ENGINE MISMATCH (pt %zu blocks, signature %zu)\n",
+                key.c_str(), pt_result.num_blocks, sig_result.num_blocks);
+    ++failures;
+    return 0.0;
+  }
+  const double speedup = pt_secs > 0 ? sig_secs / pt_secs : 0.0;
+  std::printf("  %-18s |V|=%-7zu |E|=%-7zu blocks=%-7zu pt=%-10s sig=%-10s "
+              "speedup=%.1fx\n",
+              key.c_str(), g.num_nodes(), g.num_edges(),
+              pt_result.num_blocks, bench::Secs(pt_secs).c_str(),
+              bench::Secs(sig_secs).c_str(), speedup);
+  bench::Metric(key + ".pt_secs", pt_secs);
+  bench::Metric(key + ".sig_secs", sig_secs);
+  bench::Metric(key + ".speedup", speedup);
+  bench::Metric(key + ".blocks", static_cast<double>(pt_result.num_blocks));
+  return speedup;
+}
+
+}  // namespace
+}  // namespace qpgc
+
+int main() {
+  using namespace qpgc;
+
+  bench::Banner("ablation: bisimulation engines on deep graphs",
+                "compressB complexity, Section 4 (O(|E| log |V|) bound)");
+
+  std::printf("unlabeled chains (refinement depth == |V|):\n");
+  double max_depth_speedup = 0.0;
+  for (const size_t depth : {size_t{1000}, size_t{4000}, size_t{12000}}) {
+    max_depth_speedup = RunCase("chain.d" + std::to_string(depth),
+                                LongChain(depth, 1));
+  }
+  bench::Metric("summary.max_depth_speedup", max_depth_speedup);
+
+  bench::Rule();
+  std::printf("layered DAGs (width 8, out-degree 3):\n");
+  for (const size_t depth : {size_t{250}, size_t{1000}, size_t{3000}}) {
+    RunCase("layered.d" + std::to_string(depth),
+            LayeredDag(depth, 8, 3, 42));
+  }
+
+  bench::Rule();
+  std::printf("fixed-size deep topologies:\n");
+  RunCase("broom.d4000", Broom(4000, 4000));
+  RunCase("grid.d160", DirectedGrid(80, 80));
+  RunCase("tree.d16", CompleteBinaryTree(16));
+
+  bench::Rule();
+  if (failures > 0) {
+    std::printf("%d case(s) FAILED the differential check\n", failures);
+    return 1;
+  }
+  std::printf("all cases: identical partitions from both engines\n");
+  return 0;
+}

@@ -6,9 +6,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bisim/paige_tarjan.h"
 #include "bisim/ranked_bisim.h"
 #include "bisim/signature_bisim.h"
 #include "core/pattern_scheme.h"
+#include "gen/adversarial.h"
 #include "gen/random_models.h"
 #include "gen/uniform.h"
 #include "graph/csr.h"
@@ -72,6 +74,22 @@ void BM_RankedBisim(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RankedBisim)->Arg(2000)->Arg(8000);
+
+void BM_PaigeTarjanBisim(benchmark::State& state) {
+  const Graph g = LabeledGraph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PaigeTarjanBisimulation(g));
+  }
+}
+BENCHMARK(BM_PaigeTarjanBisim)->Arg(2000)->Arg(8000);
+
+void BM_PaigeTarjanBisimChain(benchmark::State& state) {
+  const Graph g = LongChain(static_cast<size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PaigeTarjanBisimulation(g));
+  }
+}
+BENCHMARK(BM_PaigeTarjanBisimChain)->Arg(4000)->Arg(16000);
 
 void BM_CompressB(benchmark::State& state) {
   const Graph g = LabeledGraph(state.range(0));

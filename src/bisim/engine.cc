@@ -1,0 +1,52 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "bisim/engine.h"
+
+#include "bisim/paige_tarjan.h"
+#include "bisim/ranked_bisim.h"
+#include "bisim/signature_bisim.h"
+
+namespace qpgc {
+
+Partition MaxBisimulation(const Graph& g, BisimEngine engine) {
+  switch (engine) {
+    case BisimEngine::kPaigeTarjan:
+      return PaigeTarjanBisimulation(g);
+    case BisimEngine::kRanked:
+      return RankedBisimulation(g);
+    case BisimEngine::kSignature:
+      return SignatureBisimulation(g);
+  }
+  QPGC_CHECK(false && "unknown BisimEngine");
+  return Partition{};
+}
+
+const char* BisimEngineName(BisimEngine engine) {
+  switch (engine) {
+    case BisimEngine::kPaigeTarjan:
+      return "paige-tarjan";
+    case BisimEngine::kRanked:
+      return "ranked";
+    case BisimEngine::kSignature:
+      return "signature";
+  }
+  return "unknown";
+}
+
+bool ParseBisimEngine(std::string_view text, BisimEngine* engine) {
+  if (text == "paige-tarjan" || text == "pt") {
+    *engine = BisimEngine::kPaigeTarjan;
+    return true;
+  }
+  if (text == "ranked") {
+    *engine = BisimEngine::kRanked;
+    return true;
+  }
+  if (text == "signature" || text == "sig") {
+    *engine = BisimEngine::kSignature;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace qpgc

@@ -1,0 +1,49 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Engine selection for the maximum-bisimulation computation. Three engines
+// produce the identical coarsest stable partition (differentially tested):
+//
+//   kPaigeTarjan  splitter-based partition refinement with count records,
+//                 O(|E| log |V|); the default. Near-linear on the deep
+//                 chains / layered DAGs that degrade the fixpoint engines.
+//   kRanked       rank-stratified signature refinement (Dovier-Piazza-
+//                 Policriti style); fast when strata are shallow.
+//   kSignature    global signature-refinement rounds to fixpoint,
+//                 Θ(depth · |E|) worst case; kept as the simple oracle for
+//                 differential testing.
+//
+// The enum threads through CompressB (core/pattern_scheme.h), the k-bisim
+// variants (bisim/kbisim.h), the incremental re-converge path (inc/), and
+// qpgc_tool --bisim-engine.
+
+#ifndef QPGC_BISIM_ENGINE_H_
+#define QPGC_BISIM_ENGINE_H_
+
+#include <string_view>
+
+#include "bisim/partition.h"
+#include "graph/graph.h"
+
+namespace qpgc {
+
+/// Which algorithm computes the maximum bisimulation.
+enum class BisimEngine {
+  kPaigeTarjan,
+  kRanked,
+  kSignature,
+};
+
+/// Computes the maximum bisimulation of g with the chosen engine.
+Partition MaxBisimulation(const Graph& g,
+                          BisimEngine engine = BisimEngine::kPaigeTarjan);
+
+/// Canonical spelling, e.g. "paige-tarjan".
+const char* BisimEngineName(BisimEngine engine);
+
+/// Parses "paige-tarjan"/"pt", "ranked", "signature"/"sig" (case-sensitive).
+/// Returns false on anything else, leaving *engine untouched.
+bool ParseBisimEngine(std::string_view text, BisimEngine* engine);
+
+}  // namespace qpgc
+
+#endif  // QPGC_BISIM_ENGINE_H_

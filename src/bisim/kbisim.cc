@@ -2,12 +2,19 @@
 
 #include "bisim/kbisim.h"
 
+#include "bisim/paige_tarjan.h"
 #include "bisim/signature_bisim.h"
 #include "graph/builder.h"
 
 namespace qpgc {
 
-Partition KBisimulation(const Graph& g, size_t k) {
+namespace {
+
+Partition BoundedRefinement(const Graph& g, size_t k, BisimEngine engine) {
+  // Any non-oracle engine choice uses the splitter rounds; the two bounded
+  // variants are the same partition sequence, so only the oracle needs the
+  // literal whole-partition rounds.
+  if (engine != BisimEngine::kSignature) return KBisimulationSplitter(g, k);
   Partition p = LabelPartition(g);
   for (size_t i = 0; i < k; ++i) {
     if (!RefineOnce(g, p)) break;
@@ -16,15 +23,16 @@ Partition KBisimulation(const Graph& g, size_t k) {
   return p;
 }
 
-Partition KBisimulationBackward(const Graph& g, size_t k) {
+}  // namespace
+
+Partition KBisimulation(const Graph& g, size_t k, BisimEngine engine) {
+  return BoundedRefinement(g, k, engine);
+}
+
+Partition KBisimulationBackward(const Graph& g, size_t k, BisimEngine engine) {
   Graph reversed = g;
   reversed.Reverse();
-  Partition p = LabelPartition(reversed);
-  for (size_t i = 0; i < k; ++i) {
-    if (!RefineOnce(reversed, p)) break;
-  }
-  p.Normalize();
-  return p;
+  return BoundedRefinement(reversed, k, engine);
 }
 
 Graph QuotientGraph(const Graph& g, const Partition& p) {

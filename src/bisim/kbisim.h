@@ -16,17 +16,23 @@
 #ifndef QPGC_BISIM_KBISIM_H_
 #define QPGC_BISIM_KBISIM_H_
 
+#include "bisim/engine.h"
 #include "bisim/partition.h"
 #include "graph/graph.h"
 
 namespace qpgc {
 
-/// Forward k-bisimulation partition (k = 0 is the label partition).
-Partition KBisimulation(const Graph& g, size_t k);
+/// Forward k-bisimulation partition (k = 0 is the label partition). The
+/// default engine runs bounded splitter rounds (only nodes whose successor
+/// blocks changed are re-signatured); kSignature runs the plain global
+/// RefineOnce rounds. Identical results either way.
+Partition KBisimulation(const Graph& g, size_t k,
+                        BisimEngine engine = BisimEngine::kPaigeTarjan);
 
 /// Backward k-bisimulation partition (equal incoming structure up to depth
 /// k), the A(k)-index equivalence.
-Partition KBisimulationBackward(const Graph& g, size_t k);
+Partition KBisimulationBackward(const Graph& g, size_t k,
+                                BisimEngine engine = BisimEngine::kPaigeTarjan);
 
 /// The A(k)-index graph: quotient of g by *backward* k-bisimulation, keeping
 /// labels. For comparison only — not query preserving for graph patterns.

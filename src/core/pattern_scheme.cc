@@ -4,9 +4,8 @@
 
 #include <algorithm>
 
-#include "bisim/ranked_bisim.h"
+#include "bisim/engine.h"
 #include "util/bitset.h"
-#include "bisim/signature_bisim.h"
 #include "graph/builder.h"
 #include "util/memory.h"
 
@@ -35,10 +34,7 @@ PatternCompression CompressBFromPartition(const Graph& g, const Partition& p) {
 }
 
 PatternCompression CompressB(const Graph& g, const CompressBOptions& options) {
-  const Partition p = options.algorithm == CompressBOptions::Algorithm::kRanked
-                          ? RankedBisimulation(g)
-                          : SignatureBisimulation(g);
-  return CompressBFromPartition(g, p);
+  return CompressBFromPartition(g, MaxBisimulation(g, options.engine));
 }
 
 MatchResult ExpandMatch(const PatternCompression& pc, const MatchResult& on_gr) {

@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "bisim/engine.h"
 #include "bisim/partition.h"
 #include "graph/graph.h"
 #include "pattern/match.h"
@@ -24,9 +25,9 @@ namespace qpgc {
 
 /// Options for compressB.
 struct CompressBOptions {
-  /// Which maximum-bisimulation algorithm computes the partition.
-  enum class Algorithm { kRanked, kSignature };
-  Algorithm algorithm = Algorithm::kRanked;
+  /// Which maximum-bisimulation engine computes the partition (see
+  /// bisim/engine.h; every engine yields the identical quotient).
+  BisimEngine engine = BisimEngine::kPaigeTarjan;
 };
 
 /// The pattern preserving compression artifact.

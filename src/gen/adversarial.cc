@@ -1,0 +1,96 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "gen/adversarial.h"
+
+#include <algorithm>
+
+#include "graph/builder.h"
+#include "util/rng.h"
+
+namespace qpgc {
+
+Graph LongChain(size_t depth, size_t num_labels) {
+  QPGC_CHECK(depth >= 1 && num_labels >= 1);
+  GraphBuilder builder(depth);
+  for (NodeId v = 0; v < depth; ++v) {
+    builder.SetLabel(v, static_cast<Label>(v % num_labels));
+    if (v + 1 < depth) builder.AddEdge(v, v + 1);
+  }
+  return builder.Build();
+}
+
+Graph LayeredDag(size_t depth, size_t width, size_t out_degree,
+                 uint64_t seed) {
+  QPGC_CHECK(depth >= 1 && width >= 1 && out_degree >= 1 &&
+             out_degree <= width);
+  Rng rng(seed);
+  const size_t n = depth * width;
+  GraphBuilder builder(n);
+  std::vector<size_t> offsets(width);
+  for (size_t i = 0; i < width; ++i) offsets[i] = i;
+  for (size_t layer = 0; layer + 1 < depth; ++layer) {
+    // One shared offset set per layer keeps each layer rotation-symmetric:
+    // column c of layer l points to columns (c + o) mod width of layer
+    // l + 1 for the same offsets o, so a cyclic column shift is an
+    // automorphism and all nodes of a layer stay bisimilar.
+    rng.Shuffle(offsets);
+    const size_t base = (layer + 1) * width;
+    for (size_t c = 0; c < width; ++c) {
+      const NodeId v = static_cast<NodeId>(layer * width + c);
+      for (size_t d = 0; d < out_degree; ++d) {
+        builder.AddEdge(
+            v, static_cast<NodeId>(base + (c + offsets[d]) % width));
+      }
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) builder.SetLabel(v, 0);
+  return builder.Build();
+}
+
+Graph Broom(size_t handle_depth, size_t num_bristles) {
+  QPGC_CHECK(handle_depth >= 1);
+  const size_t n = handle_depth + num_bristles;
+  GraphBuilder builder(n);
+  for (NodeId v = 0; v < handle_depth; ++v) {
+    builder.SetLabel(v, 0);
+    if (v + 1 < handle_depth) builder.AddEdge(v, v + 1);
+  }
+  const NodeId head = static_cast<NodeId>(handle_depth - 1);
+  for (size_t i = 0; i < num_bristles; ++i) {
+    const NodeId leaf = static_cast<NodeId>(handle_depth + i);
+    builder.SetLabel(leaf, 1);
+    builder.AddEdge(head, leaf);
+  }
+  return builder.Build();
+}
+
+Graph DirectedGrid(size_t rows, size_t cols) {
+  QPGC_CHECK(rows >= 1 && cols >= 1);
+  GraphBuilder builder(rows * cols);
+  const auto id = [cols](size_t r, size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      builder.SetLabel(id(r, c), 0);
+      if (r + 1 < rows) builder.AddEdge(id(r, c), id(r + 1, c));
+      if (c + 1 < cols) builder.AddEdge(id(r, c), id(r, c + 1));
+    }
+  }
+  return builder.Build();
+}
+
+Graph CompleteBinaryTree(size_t depth) {
+  QPGC_CHECK(depth >= 1 && depth < 31);
+  const size_t n = (size_t{1} << depth) - 1;
+  GraphBuilder builder(n);
+  for (NodeId v = 0; v < n; ++v) {
+    builder.SetLabel(v, 0);
+    const size_t left = 2 * static_cast<size_t>(v) + 1;
+    if (left < n) builder.AddEdge(v, static_cast<NodeId>(left));
+    if (left + 1 < n) builder.AddEdge(v, static_cast<NodeId>(left + 1));
+  }
+  return builder.Build();
+}
+
+}  // namespace qpgc

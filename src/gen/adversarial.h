@@ -1,0 +1,54 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Adversarial deep-graph generators: the topologies graph-summarization
+// systems are stressed with (long chains, layered DAGs, brooms, grids).
+// Their common trait is large refinement *depth* — the maximum bisimulation
+// needs Θ(depth) refinement rounds to converge — which is exactly what
+// degrades round-based fixpoint engines to Θ(depth · |E|) and what the
+// Paige–Tarjan engine handles in O(|E| log |V|). All generators are
+// deterministic in their arguments (seeded where randomness exists).
+
+#ifndef QPGC_GEN_ADVERSARIAL_H_
+#define QPGC_GEN_ADVERSARIAL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace qpgc {
+
+/// A directed chain v0 -> v1 -> ... -> v_{depth-1}. Labels cycle through
+/// [0, num_labels). With num_labels == 1 every node is distinguished only
+/// by its distance to the sink, the worst case for round-based refinement:
+/// depth rounds, Θ(depth²) total work for the signature engine.
+Graph LongChain(size_t depth, size_t num_labels = 1);
+
+/// A layered DAG: `depth` layers of `width` nodes, one label. Every node of
+/// layer l points to the next layer at the same `out_degree` column offsets
+/// (offsets drawn per layer from `seed`), so each layer is
+/// rotation-symmetric: all of its nodes are bisimilar, the maximum
+/// bisimulation has exactly `depth` blocks, and reaching it takes depth
+/// refinement rounds — Θ(depth · |E|) for the signature engine.
+Graph LayeredDag(size_t depth, size_t width, size_t out_degree,
+                 uint64_t seed);
+
+/// A broom: a chain (handle) of `handle_depth` nodes whose last node fans
+/// out to `num_bristles` same-labeled leaves. The bristles collapse into
+/// one block immediately; the handle still forces depth-many splits.
+Graph Broom(size_t handle_depth, size_t num_bristles);
+
+/// A directed grid: node (r, c) points to (r+1, c) and (r, c+1). Refinement
+/// depth is rows + cols; nodes on the same anti-diagonal with the same
+/// remaining row/col extent are bisimilar.
+Graph DirectedGrid(size_t rows, size_t cols);
+
+/// A complete binary tree of `depth` levels (2^depth - 1 nodes), edges
+/// parent -> child, one label. Siblings are bisimilar, so the maximum
+/// bisimulation has exactly `depth` blocks — reached only after depth
+/// rounds of refinement.
+Graph CompleteBinaryTree(size_t depth);
+
+}  // namespace qpgc
+
+#endif  // QPGC_GEN_ADVERSARIAL_H_

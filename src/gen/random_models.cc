@@ -235,6 +235,12 @@ void CloneOutNeighborhoods(Graph& g, double fraction, double lo_fraction,
   }
   if (pool.empty()) return;
 
+  // Decide each twin's prototype, then rebuild the graph in one shot. Twins
+  // copy the out-lists of popular prototypes, so per-edge AddEdge would pay
+  // O(in-degree) sorted inserts into exactly the hubs every twin points at —
+  // quadratic in the twin mass. Prototypes are never twins, so reading the
+  // original adjacency is equivalent to the sequential rewiring.
+  std::vector<NodeId> proto_of(n, kInvalidNode);
   for (size_t i = 0; i < num_twins; ++i) {
     const NodeId v = candidates[i];
     NodeId prototype = v;
@@ -246,14 +252,23 @@ void CloneOutNeighborhoods(Graph& g, double fraction, double lo_fraction,
       }
     }
     if (prototype == v) continue;
-    const std::vector<NodeId> old_out(g.OutNeighbors(v).begin(),
-                                      g.OutNeighbors(v).end());
-    for (NodeId w : old_out) g.RemoveEdge(v, w);
-    for (NodeId w : g.OutNeighbors(prototype)) {
-      if (w != v) g.AddEdge(v, w);
-    }
-    g.set_label(v, g.label(prototype));
+    proto_of[v] = prototype;
   }
+
+  GraphBuilder builder(n);
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId prototype = proto_of[v];
+    if (prototype == kInvalidNode) {
+      builder.SetLabel(v, g.label(v));
+      for (NodeId w : g.OutNeighbors(v)) builder.AddEdge(v, w);
+    } else {
+      builder.SetLabel(v, g.label(prototype));
+      for (NodeId w : g.OutNeighbors(prototype)) {
+        if (w != v) builder.AddEdge(v, w);
+      }
+    }
+  }
+  g = builder.Build();
 }
 
 }  // namespace qpgc

@@ -10,13 +10,28 @@ Graph GraphBuilder::Build() {
   std::sort(edges_.begin(), edges_.end());
   edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
 
+  // Fill the adjacency vectors directly: edges sorted by (u, v) append to
+  // out_[u] in ascending v order and, with a degree-counting pass first, to
+  // in_[v] in ascending u order — O(|V| + |E|) total, no per-edge sorted
+  // insert. Hub-heavy loads (generators, edge-list files) would otherwise
+  // pay O(in-degree) per edge into the hubs.
+  const size_t n = labels_.size();
   Graph g(std::move(labels_));
-  // Edges are sorted by (u, v); AddEdge appends at the tail of each sorted
-  // adjacency vector, so construction is linear.
+  std::vector<size_t> out_deg(n, 0), in_deg(n, 0);
   for (const auto& [u, v] : edges_) {
-    const bool inserted = g.AddEdge(u, v);
-    QPGC_CHECK(inserted);  // duplicates were removed above
+    ++out_deg[u];
+    ++in_deg[v];
   }
+  for (NodeId w = 0; w < n; ++w) {
+    g.out_[w].reserve(out_deg[w]);
+    g.in_[w].reserve(in_deg[w]);
+  }
+  for (const auto& [u, v] : edges_) {
+    g.out_[u].push_back(v);
+    g.in_[v].push_back(u);
+  }
+  g.num_edges_ = edges_.size();
+
   labels_.clear();
   edges_.clear();
   return g;

@@ -121,6 +121,11 @@ class Graph {
   std::string DebugString() const;
 
  private:
+  // GraphBuilder::Build fills the adjacency vectors directly from a sorted
+  // deduplicated edge list (O(|V| + |E|)), bypassing the per-edge sorted
+  // insert that AddEdge pays for the incremental update paths.
+  friend class GraphBuilder;
+
   std::vector<Label> labels_;
   std::vector<std::vector<NodeId>> out_;
   std::vector<std::vector<NodeId>> in_;

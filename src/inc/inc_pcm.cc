@@ -5,14 +5,13 @@
 #include <algorithm>
 #include <unordered_set>
 
-#include "bisim/ranked_bisim.h"
 #include "graph/builder.h"
 #include "util/hash.h"
 
 namespace qpgc {
 
 IncPcmStats IncPCM(const Graph& g_after, const UpdateBatch& effective,
-                   PatternCompression& pc) {
+                   PatternCompression& pc, BisimEngine engine) {
   IncPcmStats stats;
   if (effective.empty()) {
     return stats;
@@ -121,7 +120,7 @@ IncPcmStats IncPCM(const Graph& g_after, const UpdateBatch& effective,
   stats.hybrid_edges = h.num_edges();
 
   // Step 4: maximum bisimulation of the hybrid graph, translated back.
-  const Partition part = RankedBisimulation(h);
+  const Partition part = MaxBisimulation(h, engine);
 
   PatternCompression next;
   next.original_num_nodes = pc.original_num_nodes;

@@ -32,6 +32,7 @@
 
 #include <cstddef>
 
+#include "bisim/engine.h"
 #include "core/pattern_scheme.h"
 #include "inc/update.h"
 
@@ -50,8 +51,11 @@ struct IncPcmStats {
 /// Maintains pc (compression of the pre-update graph) so that afterwards
 /// pc == CompressB(g_after) up to block numbering. `g_after` must already
 /// have the batch applied; `effective` is ApplyBatch's return value.
+/// `engine` chooses the maximum-bisimulation engine the hybrid-graph
+/// re-converge step runs (every engine yields the same quotient).
 IncPcmStats IncPCM(const Graph& g_after, const UpdateBatch& effective,
-                   PatternCompression& pc);
+                   PatternCompression& pc,
+                   BisimEngine engine = BisimEngine::kPaigeTarjan);
 
 }  // namespace qpgc
 

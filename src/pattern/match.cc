@@ -52,12 +52,10 @@ MatchResult MatchFrom(const Graph& g, const PatternQuery& q,
     const PatternEdge& e = q.edge(eid);
     if (PruneByEdge(g, e, result.fixpoint_sets)) {
       // S(e.from) shrank: every edge whose target is e.from must re-check.
-      for (uint32_t u = 0; u < q.num_nodes(); ++u) {
-        for (uint32_t other : q.out_edges(u)) {
-          if (q.edge(other).to == e.from && !queued[other]) {
-            worklist.push_back(other);
-            queued[other] = 1;
-          }
+      for (uint32_t other : q.in_edges(e.from)) {
+        if (!queued[other]) {
+          worklist.push_back(other);
+          queued[other] = 1;
         }
       }
     }

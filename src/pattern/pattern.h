@@ -37,6 +37,7 @@ class PatternQuery {
   uint32_t AddNode(Label label) {
     labels_.push_back(label);
     out_.emplace_back();
+    in_.emplace_back();
     return static_cast<uint32_t>(labels_.size() - 1);
   }
 
@@ -47,6 +48,7 @@ class PatternQuery {
     const uint32_t id = static_cast<uint32_t>(edges_.size());
     edges_.push_back(PatternEdge{from, to, bound});
     out_[from].push_back(id);
+    in_[to].push_back(id);
   }
 
   size_t num_nodes() const { return labels_.size(); }
@@ -56,6 +58,9 @@ class PatternQuery {
   const std::vector<PatternEdge>& edges() const { return edges_; }
   /// Ids of edges leaving pattern node u.
   const std::vector<uint32_t>& out_edges(uint32_t u) const { return out_[u]; }
+  /// Ids of edges entering pattern node u (edges whose target is u). The
+  /// Match worklist uses this for O(in-degree) re-enqueue when S(u) shrinks.
+  const std::vector<uint32_t>& in_edges(uint32_t u) const { return in_[u]; }
 
   /// True iff every bound is 1 (plain graph simulation [12]).
   bool IsSimulationPattern() const {
@@ -72,6 +77,7 @@ class PatternQuery {
   std::vector<Label> labels_;
   std::vector<PatternEdge> edges_;
   std::vector<std::vector<uint32_t>> out_;  // node -> out edge ids
+  std::vector<std::vector<uint32_t>> in_;   // node -> in edge ids
 };
 
 }  // namespace qpgc

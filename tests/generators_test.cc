@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "gen/adversarial.h"
 #include "gen/dataset_catalog.h"
 #include "gen/evolution.h"
 #include "gen/random_models.h"
@@ -87,6 +88,33 @@ TEST(GeneratorsTest, InternetTopologyHasTransitCoreAndStubFringe) {
   // stay outside it (directed customer->provider edges only).
   EXPECT_GT(s.largest_scc, 200u) << FormatStats(s);
   EXPECT_LT(s.largest_scc, 950u) << FormatStats(s);
+}
+
+TEST(AdversarialTest, ShapesAndDeterminism) {
+  const Graph chain = LongChain(500, 3);
+  EXPECT_EQ(chain.num_nodes(), 500u);
+  EXPECT_EQ(chain.num_edges(), 499u);
+  EXPECT_EQ(chain.CountDistinctLabels(), 3u);
+
+  const Graph dag = LayeredDag(20, 8, 3, 5);
+  EXPECT_EQ(dag.num_nodes(), 160u);
+  EXPECT_EQ(dag.num_edges(), 19u * 8u * 3u);
+  EXPECT_EQ(ComputeScc(dag).num_components, dag.num_nodes());  // acyclic
+  EXPECT_TRUE(dag == LayeredDag(20, 8, 3, 5));
+  EXPECT_FALSE(dag == LayeredDag(20, 8, 3, 6));
+
+  const Graph broom = Broom(10, 30);
+  EXPECT_EQ(broom.num_nodes(), 40u);
+  EXPECT_EQ(broom.num_edges(), 9u + 30u);
+  EXPECT_EQ(broom.OutDegree(9), 30u);  // the head fans out
+
+  const Graph grid = DirectedGrid(4, 6);
+  EXPECT_EQ(grid.num_nodes(), 24u);
+  EXPECT_EQ(grid.num_edges(), 3u * 6u + 4u * 5u);
+
+  const Graph tree = CompleteBinaryTree(5);
+  EXPECT_EQ(tree.num_nodes(), 31u);
+  EXPECT_EQ(tree.num_edges(), 30u);
 }
 
 TEST(CatalogTest, AllDatasetsInstantiable) {

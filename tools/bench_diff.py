@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Compares fresh BENCH_*.json metrics against the committed baselines.
+
+Usage:
+  tools/bench_diff.py --baseline-dir DIR --new-dir DIR [--tolerance PCT]
+                      [--strict] [NAME...]
+
+For each bench NAME (default: every BENCH_*.json present in --new-dir),
+loads DIR/BENCH_<name>.json from both directories and compares the numeric
+"metrics" maps. Timing metrics (keys ending in _secs or containing
+"_secs.") are reported but never counted as regressions — wall clock on CI
+runners is too noisy; structural metrics (ratios, sizes, counts, speedups)
+are compared with the relative tolerance.
+
+Default mode is warn-only: always exits 0 and prints a summary table, so a
+CI step can surface drift without gating merges. --strict exits 1 when a
+structural metric regresses beyond tolerance.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_metrics(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as err:
+        return None, str(err)
+    return doc.get("metrics", {}), None
+
+
+def is_timing(key):
+    return key.endswith("_secs") or "_secs." in key
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", required=True)
+    parser.add_argument("--new-dir", required=True)
+    parser.add_argument("--tolerance", type=float, default=10.0,
+                        help="allowed relative drift for structural metrics "
+                             "(percent, default 10)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on structural drift beyond tolerance")
+    parser.add_argument("names", nargs="*",
+                        help="bench names (e.g. table1_reach_ratio); default "
+                             "is every BENCH_*.json in --new-dir")
+    args = parser.parse_args()
+
+    names = args.names
+    if not names:
+        names = sorted(
+            os.path.basename(p)[len("BENCH_"):-len(".json")]
+            for p in glob.glob(os.path.join(args.new_dir, "BENCH_*.json")))
+    if not names:
+        print("bench_diff: no BENCH_*.json files found in", args.new_dir)
+        return 0
+
+    drifted = 0
+    rows = []
+    for name in names:
+        base_path = os.path.join(args.baseline_dir, f"BENCH_{name}.json")
+        new_path = os.path.join(args.new_dir, f"BENCH_{name}.json")
+        base, base_err = load_metrics(base_path)
+        new, new_err = load_metrics(new_path)
+        if base is None or new is None:
+            # A missing or unparseable file is the loudest possible
+            # regression (the bench crashed before writing); never let
+            # --strict pass over it.
+            drifted += 1
+            rows.append((name, "-", "(missing)",
+                         base_err or new_err or "missing file", "MISSING"))
+            continue
+        for key in sorted(set(base) | set(new)):
+            if key not in base or key not in new:
+                # A structural metric that vanished from the new run counts
+                # as drift; a metric that only just appeared does not.
+                if key in base and not is_timing(key):
+                    drifted += 1
+                rows.append((name, key, "-", "only in one side",
+                             "GONE" if key in base else "NEW"))
+                continue
+            b, n = float(base[key]), float(new[key])
+            if b == n:
+                continue
+            rel = abs(n - b) / max(abs(b), 1e-12) * 100.0
+            if is_timing(key):
+                status = "timing"
+            elif rel <= args.tolerance:
+                status = "ok"
+            else:
+                status = "DRIFT"
+                drifted += 1
+            if status != "ok":
+                rows.append((name, key, f"{b:g} -> {n:g}", f"{rel:.1f}%",
+                             status))
+
+    if rows:
+        widths = [max(len(str(r[i])) for r in rows) for i in range(5)]
+        header = ("bench", "metric", "baseline -> new", "delta", "status")
+        widths = [max(w, len(h)) for w, h in zip(widths, header)]
+        fmt = "  ".join("{:<%d}" % w for w in widths)
+        print(fmt.format(*header))
+        print(fmt.format(*("-" * w for w in widths)))
+        for r in rows:
+            print(fmt.format(*(str(c) for c in r)))
+    else:
+        print("bench_diff: all compared metrics identical")
+
+    print(f"\nbench_diff: {drifted} structural metric(s) beyond "
+          f"{args.tolerance:.1f}% tolerance "
+          f"({'strict' if args.strict else 'warn-only'})")
+    return 1 if (args.strict and drifted) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

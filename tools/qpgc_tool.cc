@@ -10,12 +10,18 @@
 //   qpgc_tool query     <artifact> <u> <v>        QR(u, v) from the artifact
 //   qpgc_tool info      <artifact>                artifact summary
 //   qpgc_tool dataset   <name> <edges-out>        emit a catalog stand-in
+//
+// `compressb` accepts --bisim-engine=paige-tarjan|ranked|signature to pick
+// the maximum-bisimulation engine (default paige-tarjan).
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "bisim/engine.h"
+#include "core/pattern_scheme.h"
 #include "core/serialization.h"
 #include "gen/dataset_catalog.h"
 #include "graph/io.h"
@@ -34,7 +40,9 @@ int Usage() {
                "usage:\n"
                "  qpgc_tool stats     <edges> [labels]\n"
                "  qpgc_tool compress  <edges> <artifact-out>\n"
-               "  qpgc_tool compressb <edges> <labels> <artifact-out>\n"
+               "  qpgc_tool compressb [--bisim-engine=paige-tarjan|ranked|"
+               "signature]\n"
+               "                      <edges> <labels> <artifact-out>\n"
                "  qpgc_tool query     <artifact> <u> <v>\n"
                "  qpgc_tool info      <artifact>\n"
                "  qpgc_tool dataset   <name> <edges-out>\n");
@@ -87,7 +95,8 @@ int CmdCompress(const char* edges, const char* out) {
   return 0;
 }
 
-int CmdCompressB(const char* edges, const char* labels, const char* out) {
+int CmdCompressB(const char* edges, const char* labels, const char* out,
+                 BisimEngine engine) {
   auto loaded = LoadGraphArg(edges, labels);
   if (!loaded.ok()) {
     std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
@@ -95,10 +104,13 @@ int CmdCompressB(const char* edges, const char* labels, const char* out) {
   }
   const Graph& g = loaded.value();
   Timer t;
-  const PatternCompression pc = CompressB(g);
-  std::printf("compressB: %.1fms;  |G| = %zu -> |Gr| = %zu  (PCr = %.2f%%)\n",
-              t.ElapsedMillis(), g.size(), pc.size(),
-              pc.CompressionRatio() * 100);
+  CompressBOptions options;
+  options.engine = engine;
+  const PatternCompression pc = CompressB(g, options);
+  std::printf(
+      "compressB[%s]: %.1fms;  |G| = %zu -> |Gr| = %zu  (PCr = %.2f%%)\n",
+      BisimEngineName(engine), t.ElapsedMillis(), g.size(), pc.size(),
+      pc.CompressionRatio() * 100);
   const Status s = SavePatternCompression(pc, out);
   if (!s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
@@ -176,25 +188,42 @@ int CmdDataset(const char* name, const char* out) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  const char* cmd = argv[1];
-  if (std::strcmp(cmd, "stats") == 0 && (argc == 3 || argc == 4)) {
-    return CmdStats(argv[2], argc == 4 ? argv[3] : nullptr);
+  // Strip --bisim-engine=<name> wherever it appears; positional arguments
+  // keep their order.
+  BisimEngine engine = BisimEngine::kPaigeTarjan;
+  std::vector<const char*> args;
+  for (int i = 1; i < argc; ++i) {
+    constexpr const char kEngineFlag[] = "--bisim-engine=";
+    if (std::strncmp(argv[i], kEngineFlag, sizeof(kEngineFlag) - 1) == 0) {
+      const char* value = argv[i] + sizeof(kEngineFlag) - 1;
+      if (!ParseBisimEngine(value, &engine)) {
+        std::fprintf(stderr, "unknown bisim engine '%s'\n", value);
+        return Usage();
+      }
+      continue;
+    }
+    args.push_back(argv[i]);
   }
-  if (std::strcmp(cmd, "compress") == 0 && argc == 4) {
-    return CmdCompress(argv[2], argv[3]);
+  const int argn = static_cast<int>(args.size());
+  if (argn < 1) return Usage();
+  const char* cmd = args[0];
+  if (std::strcmp(cmd, "stats") == 0 && (argn == 2 || argn == 3)) {
+    return CmdStats(args[1], argn == 3 ? args[2] : nullptr);
   }
-  if (std::strcmp(cmd, "compressb") == 0 && argc == 5) {
-    return CmdCompressB(argv[2], argv[3], argv[4]);
+  if (std::strcmp(cmd, "compress") == 0 && argn == 3) {
+    return CmdCompress(args[1], args[2]);
   }
-  if (std::strcmp(cmd, "query") == 0 && argc == 5) {
-    return CmdQuery(argv[2], argv[3], argv[4]);
+  if (std::strcmp(cmd, "compressb") == 0 && argn == 4) {
+    return CmdCompressB(args[1], args[2], args[3], engine);
   }
-  if (std::strcmp(cmd, "info") == 0 && argc == 3) {
-    return CmdInfo(argv[2]);
+  if (std::strcmp(cmd, "query") == 0 && argn == 4) {
+    return CmdQuery(args[1], args[2], args[3]);
   }
-  if (std::strcmp(cmd, "dataset") == 0 && argc == 4) {
-    return CmdDataset(argv[2], argv[3]);
+  if (std::strcmp(cmd, "info") == 0 && argn == 2) {
+    return CmdInfo(args[1]);
+  }
+  if (std::strcmp(cmd, "dataset") == 0 && argn == 3) {
+    return CmdDataset(args[1], args[2]);
   }
   return Usage();
 }
