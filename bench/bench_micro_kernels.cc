@@ -43,6 +43,25 @@ void BM_SCC(benchmark::State& state) {
 }
 BENCHMARK(BM_SCC)->Arg(2000)->Arg(8000)->Arg(32000);
 
+void BM_SCC_Csr(benchmark::State& state) {
+  const Graph g = SocialGraph(state.range(0));
+  const CsrGraph frozen(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeScc(frozen));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_SCC_Csr)->Arg(2000)->Arg(8000)->Arg(32000);
+
+void BM_CsrFreeze(benchmark::State& state) {
+  const Graph g = SocialGraph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CsrGraph(g));
+  }
+}
+BENCHMARK(BM_CsrFreeze)->Arg(8000)->Arg(32000);
+
 void BM_ReachEquivalence(benchmark::State& state) {
   const Graph g = SocialGraph(state.range(0));
   for (auto _ : state) {
@@ -83,6 +102,15 @@ void BM_PaigeTarjanBisim(benchmark::State& state) {
 }
 BENCHMARK(BM_PaigeTarjanBisim)->Arg(2000)->Arg(8000);
 
+void BM_PaigeTarjanBisimCsr(benchmark::State& state) {
+  const Graph g = LabeledGraph(state.range(0));
+  const CsrGraph frozen(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PaigeTarjanBisimulation(frozen));
+  }
+}
+BENCHMARK(BM_PaigeTarjanBisimCsr)->Arg(2000)->Arg(8000);
+
 void BM_PaigeTarjanBisimChain(benchmark::State& state) {
   const Graph g = LongChain(static_cast<size_t>(state.range(0)), 1);
   for (auto _ : state) {
@@ -90,6 +118,15 @@ void BM_PaigeTarjanBisimChain(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PaigeTarjanBisimChain)->Arg(4000)->Arg(16000);
+
+void BM_PaigeTarjanBisimChainCsr(benchmark::State& state) {
+  const Graph g = LongChain(static_cast<size_t>(state.range(0)), 1);
+  const CsrGraph frozen(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PaigeTarjanBisimulation(frozen));
+  }
+}
+BENCHMARK(BM_PaigeTarjanBisimChainCsr)->Arg(4000)->Arg(16000);
 
 void BM_CompressB(benchmark::State& state) {
   const Graph g = LabeledGraph(state.range(0));

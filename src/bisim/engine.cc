@@ -2,23 +2,12 @@
 
 #include "bisim/engine.h"
 
-#include "bisim/paige_tarjan.h"
-#include "bisim/ranked_bisim.h"
-#include "bisim/signature_bisim.h"
+#include "bisim/max_bisimulation.h"
 
 namespace qpgc {
 
 Partition MaxBisimulation(const Graph& g, BisimEngine engine) {
-  switch (engine) {
-    case BisimEngine::kPaigeTarjan:
-      return PaigeTarjanBisimulation(g);
-    case BisimEngine::kRanked:
-      return RankedBisimulation(g);
-    case BisimEngine::kSignature:
-      return SignatureBisimulation(g);
-  }
-  QPGC_CHECK(false && "unknown BisimEngine");
-  return Partition{};
+  return MaxBisimulation<Graph>(g, engine);
 }
 
 const char* BisimEngineName(BisimEngine engine) {

@@ -14,7 +14,9 @@
 //
 // The enum threads through CompressB (core/pattern_scheme.h), the k-bisim
 // variants (bisim/kbisim.h), the incremental re-converge path (inc/), and
-// qpgc_tool --bisim-engine.
+// qpgc_tool --bisim-engine. This header stays lightweight (enum + Graph
+// overload) so enum-only consumers don't pull in the engine bodies; the
+// GraphView template dispatch lives in bisim/max_bisimulation.h.
 
 #ifndef QPGC_BISIM_ENGINE_H_
 #define QPGC_BISIM_ENGINE_H_
@@ -33,7 +35,8 @@ enum class BisimEngine {
   kSignature,
 };
 
-/// Computes the maximum bisimulation of g with the chosen engine.
+/// Computes the maximum bisimulation of g with the chosen engine. The
+/// GraphView template overload is in bisim/max_bisimulation.h.
 Partition MaxBisimulation(const Graph& g,
                           BisimEngine engine = BisimEngine::kPaigeTarjan);
 

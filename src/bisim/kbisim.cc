@@ -2,52 +2,32 @@
 
 #include "bisim/kbisim.h"
 
-#include "bisim/paige_tarjan.h"
-#include "bisim/signature_bisim.h"
-#include "graph/builder.h"
+#include "graph/csr.h"
 
 namespace qpgc {
 
-namespace {
-
-Partition BoundedRefinement(const Graph& g, size_t k, BisimEngine engine) {
-  // Any non-oracle engine choice uses the splitter rounds; the two bounded
-  // variants are the same partition sequence, so only the oracle needs the
-  // literal whole-partition rounds.
-  if (engine != BisimEngine::kSignature) return KBisimulationSplitter(g, k);
-  Partition p = LabelPartition(g);
-  for (size_t i = 0; i < k; ++i) {
-    if (!RefineOnce(g, p)) break;
-  }
-  p.Normalize();
-  return p;
-}
-
-}  // namespace
-
 Partition KBisimulation(const Graph& g, size_t k, BisimEngine engine) {
-  return BoundedRefinement(g, k, engine);
+  return KBisimulation<Graph>(g, k, engine);
 }
 
 Partition KBisimulationBackward(const Graph& g, size_t k, BisimEngine engine) {
+  return KBisimulationBackward<Graph>(g, k, engine);
+}
+
+Partition KBisimulationBackwardCopying(const Graph& g, size_t k,
+                                       BisimEngine engine) {
   Graph reversed = g;
   reversed.Reverse();
-  return BoundedRefinement(reversed, k, engine);
+  return KBisimulation(reversed, k, engine);
 }
 
 Graph QuotientGraph(const Graph& g, const Partition& p) {
-  GraphBuilder builder(p.num_blocks);
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    builder.SetLabel(p.block_of[v], g.label(v));
-  }
-  g.ForEachEdge([&](NodeId u, NodeId v) {
-    builder.AddEdge(p.block_of[u], p.block_of[v]);
-  });
-  return builder.Build();
+  return QuotientGraph<Graph>(g, p);
 }
 
 Graph AkIndexGraph(const Graph& g, size_t k) {
-  return QuotientGraph(g, KBisimulationBackward(g, k));
+  const CsrGraph frozen(g);
+  return QuotientGraph(frozen, KBisimulationBackward(frozen, k));
 }
 
 }  // namespace qpgc

@@ -8,6 +8,12 @@
 //    nodes by incoming label paths (those indexes serve rooted path
 //    queries).
 //
+// The backward orientation is computed in-edge-driven: forward refinement
+// over a ReversedView of the input, whose OutNeighbors *are* the view's
+// InNeighbors — no copy, no whole-graph Reverse() per call. The historical
+// copy+Reverse implementation survives as KBisimulationBackwardCopying, a
+// test oracle only.
+//
 // The paper uses A(k) as a *negative* baseline: Section 4.1's Fig. 6 shows
 // a graph whose A(1) index graph returns every B node for the pattern
 // {(B,C), (B,D)} although only two match; reproduced in
@@ -17,8 +23,12 @@
 #define QPGC_BISIM_KBISIM_H_
 
 #include "bisim/engine.h"
+#include "bisim/paige_tarjan.h"
 #include "bisim/partition.h"
+#include "bisim/signature_bisim.h"
+#include "graph/builder.h"
 #include "graph/graph.h"
+#include "graph/graph_view.h"
 
 namespace qpgc {
 
@@ -26,21 +36,62 @@ namespace qpgc {
 /// default engine runs bounded splitter rounds (only nodes whose successor
 /// blocks changed are re-signatured); kSignature runs the plain global
 /// RefineOnce rounds. Identical results either way.
-Partition KBisimulation(const Graph& g, size_t k,
-                        BisimEngine engine = BisimEngine::kPaigeTarjan);
+template <GraphView G>
+Partition KBisimulation(const G& g, size_t k,
+                        BisimEngine engine = BisimEngine::kPaigeTarjan) {
+  // Any non-oracle engine choice uses the splitter rounds; the two bounded
+  // variants are the same partition sequence, so only the oracle needs the
+  // literal whole-partition rounds.
+  if (engine != BisimEngine::kSignature) return KBisimulationSplitter(g, k);
+  Partition p = LabelPartition(g);
+  for (size_t i = 0; i < k; ++i) {
+    if (!RefineOnce(g, p)) break;
+  }
+  p.Normalize();
+  return p;
+}
 
 /// Backward k-bisimulation partition (equal incoming structure up to depth
-/// k), the A(k)-index equivalence.
-Partition KBisimulationBackward(const Graph& g, size_t k,
-                                BisimEngine engine = BisimEngine::kPaigeTarjan);
-
-/// The A(k)-index graph: quotient of g by *backward* k-bisimulation, keeping
-/// labels. For comparison only — not query preserving for graph patterns.
-Graph AkIndexGraph(const Graph& g, size_t k);
+/// k), the A(k)-index equivalence. In-edge-driven: forward refinement over
+/// the reversed view, so each round walks the view's InNeighbors directly.
+template <GraphView G>
+Partition KBisimulationBackward(const G& g, size_t k,
+                                BisimEngine engine = BisimEngine::kPaigeTarjan) {
+  return KBisimulation(ReversedView<G>(g), k, engine);
+}
 
 /// Quotient of g by an arbitrary partition, keeping labels (index-graph
 /// construction helper).
+template <GraphView G>
+Graph QuotientGraph(const G& g, const Partition& p) {
+  GraphBuilder builder(p.num_blocks);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    builder.SetLabel(p.block_of[v], g.label(v));
+  }
+  ForEachEdge(g, [&](NodeId u, NodeId v) {
+    builder.AddEdge(p.block_of[u], p.block_of[v]);
+  });
+  return builder.Build();
+}
+
+// Non-template Graph overloads (compiled once in kbisim.cc).
+Partition KBisimulation(const Graph& g, size_t k,
+                        BisimEngine engine = BisimEngine::kPaigeTarjan);
+Partition KBisimulationBackward(const Graph& g, size_t k,
+                                BisimEngine engine = BisimEngine::kPaigeTarjan);
 Graph QuotientGraph(const Graph& g, const Partition& p);
+
+/// Historical backward implementation: copies the graph and calls
+/// Reverse() before running forward refinement. Kept strictly as a test
+/// oracle for the in-edge-driven variant; do not use on hot paths.
+Partition KBisimulationBackwardCopying(
+    const Graph& g, size_t k, BisimEngine engine = BisimEngine::kPaigeTarjan);
+
+/// The A(k)-index graph: quotient of g by *backward* k-bisimulation, keeping
+/// labels. For comparison only — not query preserving for graph patterns.
+/// Batch entry point: freezes a CSR snapshot once and runs the refinement
+/// and quotient construction on the flat layout.
+Graph AkIndexGraph(const Graph& g, size_t k);
 
 }  // namespace qpgc
 

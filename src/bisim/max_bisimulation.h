@@ -1,0 +1,38 @@
+// Copyright 2026 The QPGC Authors.
+//
+// GraphView dispatch over the maximum-bisimulation engines. Split from
+// bisim/engine.h so that enum-only consumers (the inc/ layer, options
+// structs) don't pull the full engine template bodies into their TUs;
+// include this header where the engine actually runs on a generic view.
+
+#ifndef QPGC_BISIM_MAX_BISIMULATION_H_
+#define QPGC_BISIM_MAX_BISIMULATION_H_
+
+#include "bisim/engine.h"
+#include "bisim/paige_tarjan.h"
+#include "bisim/partition.h"
+#include "bisim/ranked_bisim.h"
+#include "bisim/signature_bisim.h"
+#include "graph/graph_view.h"
+
+namespace qpgc {
+
+/// Computes the maximum bisimulation of g with the chosen engine.
+template <GraphView G>
+Partition MaxBisimulation(const G& g,
+                          BisimEngine engine = BisimEngine::kPaigeTarjan) {
+  switch (engine) {
+    case BisimEngine::kPaigeTarjan:
+      return PaigeTarjanBisimulation(g);
+    case BisimEngine::kRanked:
+      return RankedBisimulation(g);
+    case BisimEngine::kSignature:
+      return SignatureBisimulation(g);
+  }
+  QPGC_CHECK(false && "unknown BisimEngine");
+  return Partition{};
+}
+
+}  // namespace qpgc
+
+#endif  // QPGC_BISIM_MAX_BISIMULATION_H_

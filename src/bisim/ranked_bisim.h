@@ -19,13 +19,91 @@
 #ifndef QPGC_BISIM_RANKED_BISIM_H_
 #define QPGC_BISIM_RANKED_BISIM_H_
 
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
 #include "bisim/partition.h"
+#include "bisim/refine_detail.h"
 #include "graph/graph.h"
+#include "graph/graph_view.h"
+#include "graph/topology.h"
+#include "util/hash.h"
 
 namespace qpgc {
 
 /// Maximum bisimulation via rank stratification. Equivalent to
 /// SignatureBisimulation (property-tested) but avoids global rounds.
+template <GraphView G>
+Partition RankedBisimulation(const G& g) {
+  using bisim_detail::Sig;
+  using bisim_detail::SigHash;
+
+  const size_t n = g.num_nodes();
+  Partition p;
+  p.block_of.assign(n, 0);
+  if (n == 0) return p;
+
+  const std::vector<int32_t> ranks = BisimRanks(g);
+
+  // Strata in ascending rank order (kRankNegInf == INT32_MIN sorts first).
+  std::map<int32_t, std::vector<NodeId>> strata;
+  for (NodeId v = 0; v < n; ++v) strata[ranks[v]].push_back(v);
+
+  // Initial partition: (rank, label). Never separates bisimilar nodes
+  // (Lemma 9 plus label equality).
+  NodeId num_blocks = 0;
+  {
+    std::unordered_map<std::pair<uint64_t, uint64_t>, NodeId, PairHash> init;
+    for (NodeId v = 0; v < n; ++v) {
+      const std::pair<uint64_t, uint64_t> key{
+          static_cast<uint64_t>(static_cast<int64_t>(ranks[v])), g.label(v)};
+      const auto [it, inserted] = init.try_emplace(key, num_blocks);
+      if (inserted) ++num_blocks;
+      p.block_of[v] = it->second;
+    }
+  }
+
+  std::vector<NodeId> succ;
+  for (auto& [rank, nodes] : strata) {
+    (void)rank;
+    // Local fixpoint: refine the stratum's blocks by successor-block sets
+    // until stable. Cross-stratum successors are already final.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      // Group stratum nodes by signature.
+      std::unordered_map<Sig, std::vector<NodeId>, SigHash> groups;
+      groups.reserve(nodes.size());
+      for (NodeId v : nodes) {
+        succ.clear();
+        for (NodeId w : g.OutNeighbors(v)) succ.push_back(p.block_of[w]);
+        std::sort(succ.begin(), succ.end());
+        succ.erase(std::unique(succ.begin(), succ.end()), succ.end());
+        groups[Sig{p.block_of[v], succ}].push_back(v);
+      }
+      // Count groups per old block; split blocks with more than one group.
+      std::unordered_map<NodeId, NodeId> groups_seen;  // block -> #groups
+      for (const auto& [sig, members] : groups) ++groups_seen[sig.block];
+      std::unordered_map<NodeId, bool> first_kept;
+      for (auto& [sig, members] : groups) {
+        if (groups_seen[sig.block] == 1) continue;  // untouched block id
+        auto [it, inserted] = first_kept.try_emplace(sig.block, true);
+        if (inserted) continue;  // first group keeps the old id
+        const NodeId fresh = num_blocks++;
+        for (NodeId v : members) p.block_of[v] = fresh;
+        changed = true;
+      }
+    }
+  }
+
+  p.num_blocks = num_blocks;
+  p.Normalize();
+  return p;
+}
+
+/// Non-template Graph overload (compiled once in ranked_bisim.cc).
 Partition RankedBisimulation(const Graph& g);
 
 }  // namespace qpgc

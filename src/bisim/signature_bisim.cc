@@ -2,71 +2,16 @@
 
 #include "bisim/signature_bisim.h"
 
-#include <algorithm>
-#include <unordered_map>
-
-#include "util/hash.h"
-
 namespace qpgc {
 
-Partition LabelPartition(const Graph& g) {
-  Partition p;
-  p.block_of.resize(g.num_nodes());
-  std::unordered_map<Label, NodeId> by_label;
-  NodeId next = 0;
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    const auto [it, inserted] = by_label.try_emplace(g.label(v), next);
-    if (inserted) ++next;
-    p.block_of[v] = it->second;
-  }
-  p.num_blocks = next;
-  return p;
-}
+Partition LabelPartition(const Graph& g) { return LabelPartition<Graph>(g); }
 
 bool RefineOnce(const Graph& g, Partition& p) {
-  // Signature of v: (current block, sorted distinct successor blocks).
-  struct Sig {
-    NodeId block;
-    std::vector<NodeId> succ_blocks;
-    bool operator==(const Sig& o) const {
-      return block == o.block && succ_blocks == o.succ_blocks;
-    }
-  };
-  struct SigHash {
-    size_t operator()(const Sig& s) const {
-      uint64_t h = Mix64(s.block);
-      for (NodeId b : s.succ_blocks) h = HashCombine(h, b);
-      return static_cast<size_t>(h);
-    }
-  };
-
-  std::unordered_map<Sig, NodeId, SigHash> remap;
-  remap.reserve(p.block_of.size());
-  std::vector<NodeId> next(p.block_of.size());
-  NodeId next_id = 0;
-  std::vector<NodeId> succ;
-  for (NodeId v = 0; v < p.block_of.size(); ++v) {
-    succ.clear();
-    for (NodeId w : g.OutNeighbors(v)) succ.push_back(p.block_of[w]);
-    std::sort(succ.begin(), succ.end());
-    succ.erase(std::unique(succ.begin(), succ.end()), succ.end());
-    Sig sig{p.block_of[v], succ};
-    const auto [it, inserted] = remap.try_emplace(std::move(sig), next_id);
-    if (inserted) ++next_id;
-    next[v] = it->second;
-  }
-  const bool changed = next_id != p.num_blocks;
-  p.block_of.swap(next);
-  p.num_blocks = next_id;
-  return changed;
+  return RefineOnce<Graph>(g, p);
 }
 
 Partition SignatureBisimulation(const Graph& g) {
-  Partition p = LabelPartition(g);
-  while (RefineOnce(g, p)) {
-  }
-  p.Normalize();
-  return p;
+  return SignatureBisimulation<Graph>(g);
 }
 
 }  // namespace qpgc

@@ -7,25 +7,81 @@
 // bisimulation Rb — in at most |V| rounds of O(|E| log |E|).
 //
 // Used as ground truth for the rank-stratified production algorithm and for
-// mid-sized graphs where simplicity wins.
+// mid-sized graphs where simplicity wins. Templated over GraphView (Graph,
+// CsrGraph, ReversedView); Graph overloads compiled once in the library.
 
 #ifndef QPGC_BISIM_SIGNATURE_BISIM_H_
 #define QPGC_BISIM_SIGNATURE_BISIM_H_
 
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
 #include "bisim/partition.h"
+#include "bisim/refine_detail.h"
 #include "graph/graph.h"
+#include "graph/graph_view.h"
 
 namespace qpgc {
 
-/// Maximum bisimulation by signature refinement to fixpoint.
-Partition SignatureBisimulation(const Graph& g);
+/// The initial partition: nodes grouped by label.
+template <GraphView G>
+Partition LabelPartition(const G& g) {
+  Partition p;
+  p.block_of.resize(g.num_nodes());
+  std::unordered_map<Label, NodeId> by_label;
+  NodeId next = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto [it, inserted] = by_label.try_emplace(g.label(v), next);
+    if (inserted) ++next;
+    p.block_of[v] = it->second;
+  }
+  p.num_blocks = next;
+  return p;
+}
 
 /// One signature-refinement round applied to `p` (splits every block by
 /// members' successor-block sets). Returns true iff the partition changed.
 /// Exposed for k-bisimulation and tests.
-bool RefineOnce(const Graph& g, Partition& p);
+template <GraphView G>
+bool RefineOnce(const G& g, Partition& p) {
+  using bisim_detail::Sig;
+  using bisim_detail::SigHash;
 
-/// The initial partition: nodes grouped by label.
+  std::unordered_map<Sig, NodeId, SigHash> remap;
+  remap.reserve(p.block_of.size());
+  std::vector<NodeId> next(p.block_of.size());
+  NodeId next_id = 0;
+  std::vector<NodeId> succ;
+  for (NodeId v = 0; v < p.block_of.size(); ++v) {
+    succ.clear();
+    for (NodeId w : g.OutNeighbors(v)) succ.push_back(p.block_of[w]);
+    std::sort(succ.begin(), succ.end());
+    succ.erase(std::unique(succ.begin(), succ.end()), succ.end());
+    Sig sig{p.block_of[v], succ};
+    const auto [it, inserted] = remap.try_emplace(std::move(sig), next_id);
+    if (inserted) ++next_id;
+    next[v] = it->second;
+  }
+  const bool changed = next_id != p.num_blocks;
+  p.block_of.swap(next);
+  p.num_blocks = next_id;
+  return changed;
+}
+
+/// Maximum bisimulation by signature refinement to fixpoint.
+template <GraphView G>
+Partition SignatureBisimulation(const G& g) {
+  Partition p = LabelPartition(g);
+  while (RefineOnce(g, p)) {
+  }
+  p.Normalize();
+  return p;
+}
+
+// Non-template Graph overloads (compiled once in signature_bisim.cc).
+Partition SignatureBisimulation(const Graph& g);
+bool RefineOnce(const Graph& g, Partition& p);
 Partition LabelPartition(const Graph& g);
 
 }  // namespace qpgc

@@ -4,37 +4,21 @@
 
 #include <algorithm>
 
-#include "bisim/engine.h"
+#include "graph/csr.h"
 #include "util/bitset.h"
-#include "graph/builder.h"
 #include "util/memory.h"
 
 namespace qpgc {
 
 PatternCompression CompressBFromPartition(const Graph& g, const Partition& p) {
-  PatternCompression pc;
-  pc.original_num_nodes = g.num_nodes();
-  pc.original_size = g.size();
-  pc.node_map = p.block_of;
-  pc.members.assign(p.num_blocks, {});
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    pc.members[p.block_of[v]].push_back(v);
-  }
-
-  GraphBuilder builder(p.num_blocks);
-  for (NodeId c = 0; c < p.num_blocks; ++c) {
-    QPGC_CHECK(!pc.members[c].empty());
-    builder.SetLabel(static_cast<NodeId>(c), g.label(pc.members[c][0]));
-  }
-  g.ForEachEdge([&](NodeId u, NodeId v) {
-    builder.AddEdge(p.block_of[u], p.block_of[v]);
-  });
-  pc.gr = builder.Build();
-  return pc;
+  return CompressBFromPartition<Graph>(g, p);
 }
 
 PatternCompression CompressB(const Graph& g, const CompressBOptions& options) {
-  return CompressBFromPartition(g, MaxBisimulation(g, options.engine));
+  // Freeze once, sweep flat: partition refinement and quotient construction
+  // are read-only over adjacency.
+  const CsrGraph frozen(g);
+  return CompressB<CsrGraph>(frozen, options);
 }
 
 MatchResult ExpandMatch(const PatternCompression& pc, const MatchResult& on_gr) {

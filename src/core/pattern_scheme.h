@@ -8,6 +8,10 @@
 //   P — hypernode expansion: replace each [v] in the match by its members,
 //       linear in the answer size. Boolean queries need no P.
 // Theorem 4: Qp(G) = P(Qp(Gr)) for every bounded-simulation pattern.
+//
+// The compression pipeline is a GraphView template; the `const Graph&`
+// entry point freezes a CsrGraph snapshot once and runs both the partition
+// refinement and the quotient construction on the flat layout.
 
 #ifndef QPGC_CORE_PATTERN_SCHEME_H_
 #define QPGC_CORE_PATTERN_SCHEME_H_
@@ -16,8 +20,11 @@
 #include <vector>
 
 #include "bisim/engine.h"
+#include "bisim/max_bisimulation.h"
 #include "bisim/partition.h"
+#include "graph/builder.h"
 #include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "pattern/match.h"
 #include "pattern/pattern.h"
 
@@ -52,12 +59,41 @@ struct PatternCompression {
   size_t MemoryBytes() const;
 };
 
-/// Computes Gr = R(G) via the maximum bisimulation.
-PatternCompression CompressB(const Graph& g, const CompressBOptions& options = {});
-
 /// Builds the compression from a precomputed bisimulation partition (used by
 /// the incremental algorithm and tests).
+template <GraphView G>
+PatternCompression CompressBFromPartition(const G& g, const Partition& p) {
+  PatternCompression pc;
+  pc.original_num_nodes = g.num_nodes();
+  pc.original_size = ViewSize(g);
+  pc.node_map = p.block_of;
+  pc.members.assign(p.num_blocks, {});
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    pc.members[p.block_of[v]].push_back(v);
+  }
+
+  GraphBuilder builder(p.num_blocks);
+  for (NodeId c = 0; c < p.num_blocks; ++c) {
+    QPGC_CHECK(!pc.members[c].empty());
+    builder.SetLabel(static_cast<NodeId>(c), g.label(pc.members[c][0]));
+  }
+  ForEachEdge(g, [&](NodeId u, NodeId v) {
+    builder.AddEdge(p.block_of[u], p.block_of[v]);
+  });
+  pc.gr = builder.Build();
+  return pc;
+}
+
+/// Computes Gr = R(G) via the maximum bisimulation, on any view.
+template <GraphView G>
+PatternCompression CompressB(const G& g, const CompressBOptions& options = {}) {
+  return CompressBFromPartition(g, MaxBisimulation(g, options.engine));
+}
+
+// Non-template Graph entry points (compiled once in pattern_scheme.cc).
+// CompressB freezes a CsrGraph snapshot and runs the pipeline on it.
 PatternCompression CompressBFromPartition(const Graph& g, const Partition& p);
+PatternCompression CompressB(const Graph& g, const CompressBOptions& options = {});
 
 /// The post-processing function P: expands every block in a match over Gr
 /// into its member nodes. O(|Qp(G)|).

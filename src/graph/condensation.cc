@@ -2,22 +2,10 @@
 
 #include "graph/condensation.h"
 
-#include "graph/builder.h"
-
 namespace qpgc {
 
 Condensation BuildCondensation(const Graph& g) {
-  Condensation result;
-  result.scc = ComputeScc(g);
-
-  GraphBuilder builder(result.scc.num_components);
-  g.ForEachEdge([&](NodeId u, NodeId v) {
-    const NodeId cu = result.scc.component[u];
-    const NodeId cv = result.scc.component[v];
-    if (cu != cv) builder.AddEdge(cu, cv);
-  });
-  result.dag = builder.Build();
-  return result;
+  return BuildCondensation<Graph>(g);
 }
 
 }  // namespace qpgc

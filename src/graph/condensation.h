@@ -5,11 +5,17 @@
 // self-loops) are dropped, so the condensation is a simple DAG. Whether a
 // component was cyclic is retained in `scc.cyclic` — the compression
 // algorithms need it to preserve non-empty-path self-reachability.
+//
+// The condensation DAG itself is always a dynamic Graph: it is orders of
+// magnitude smaller than the input, and the downstream refinement machinery
+// mutates-by-rebuild on it. Only the input is representation-generic.
 
 #ifndef QPGC_GRAPH_CONDENSATION_H_
 #define QPGC_GRAPH_CONDENSATION_H_
 
+#include "graph/builder.h"
 #include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "graph/scc.h"
 
 namespace qpgc {
@@ -23,6 +29,22 @@ struct Condensation {
 };
 
 /// Builds the condensation of g. O(|V| + |E| log |E|).
+template <GraphView G>
+Condensation BuildCondensation(const G& g) {
+  Condensation result;
+  result.scc = ComputeScc(g);
+
+  GraphBuilder builder(result.scc.num_components);
+  ForEachEdge(g, [&](NodeId u, NodeId v) {
+    const NodeId cu = result.scc.component[u];
+    const NodeId cv = result.scc.component[v];
+    if (cu != cv) builder.AddEdge(cu, cv);
+  });
+  result.dag = builder.Build();
+  return result;
+}
+
+/// Non-template Graph overload (compiled once in condensation.cc).
 Condensation BuildCondensation(const Graph& g);
 
 }  // namespace qpgc

@@ -26,6 +26,17 @@ CsrGraph::CsrGraph(const Graph& g) {
   in_offsets_[n] = in_targets_.size();
 }
 
+size_t CsrGraph::CountDistinctLabels() const {
+  return qpgc::CountDistinctLabels(*this);
+}
+
+std::vector<std::pair<NodeId, NodeId>> CsrGraph::EdgeList() const {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(num_edges());
+  ForEachEdge([&](NodeId u, NodeId v) { edges.emplace_back(u, v); });
+  return edges;
+}
+
 size_t CsrGraph::MemoryBytes() const {
   return VectorBytes(out_offsets_) + VectorBytes(out_targets_) +
          VectorBytes(in_offsets_) + VectorBytes(in_targets_) +
@@ -33,26 +44,7 @@ size_t CsrGraph::MemoryBytes() const {
 }
 
 bool CsrBfsReaches(const CsrGraph& g, NodeId u, NodeId v, PathMode mode) {
-  if (mode == PathMode::kReflexive && u == v) return true;
-  std::vector<uint8_t> visited(g.num_nodes(), 0);
-  std::vector<NodeId> queue;
-  for (NodeId w : g.OutNeighbors(u)) {
-    if (w == v) return true;
-    if (!visited[w]) {
-      visited[w] = 1;
-      queue.push_back(w);
-    }
-  }
-  for (size_t i = 0; i < queue.size(); ++i) {
-    for (NodeId w : g.OutNeighbors(queue[i])) {
-      if (w == v) return true;
-      if (!visited[w]) {
-        visited[w] = 1;
-        queue.push_back(w);
-      }
-    }
-  }
-  return false;
+  return BfsReaches(g, u, v, mode);
 }
 
 }  // namespace qpgc

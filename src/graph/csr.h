@@ -2,18 +2,25 @@
 //
 // Immutable CSR (compressed sparse row) view of a graph. The dynamic Graph
 // is the mutable source of truth (the incremental algorithms need cheap
-// single-edge updates); query serving wants the flat layout: one contiguous
-// offsets array plus one contiguous targets array per direction, ~40% the
-// memory of vector-of-vectors and materially faster to sweep. Freeze once
-// after compression, then serve.
+// single-edge updates); the batch/serving layer wants the flat layout: one
+// contiguous offsets array plus one contiguous targets array per direction,
+// ~40% the memory of vector-of-vectors and materially faster to sweep.
+// Freeze once, then run the whole batch pipeline (and query serving) on it.
+//
+// CsrGraph models the GraphView concept (graph/graph_view.h); every batch
+// algorithm is templated over the concept, so Graph and CsrGraph run the
+// identical code paths (differentially tested in tests/graph_view_test.cc).
 
 #ifndef QPGC_GRAPH_CSR_H_
 #define QPGC_GRAPH_CSR_H_
 
+#include <algorithm>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "graph/traversal.h"
 #include "util/common.h"
 
@@ -27,6 +34,8 @@ class CsrGraph {
 
   size_t num_nodes() const { return out_offsets_.size() - 1; }
   size_t num_edges() const { return out_targets_.size(); }
+  /// Graph size |G| = |V| + |E| (the paper's measure).
+  size_t size() const { return num_nodes() + num_edges(); }
 
   std::span<const NodeId> OutNeighbors(NodeId u) const {
     QPGC_DCHECK(u + 1 < out_offsets_.size());
@@ -46,7 +55,24 @@ class CsrGraph {
     return in_offsets_[u + 1] - in_offsets_[u];
   }
 
+  /// True iff edge (u, v) exists — binary search on the sorted target run.
+  bool HasEdge(NodeId u, NodeId v) const { return ViewHasEdge(*this, u, v); }
+
   Label label(NodeId u) const { return labels_[u]; }
+  const std::vector<Label>& labels() const { return labels_; }
+
+  /// Number of distinct labels present (kNoLabel counts as one value if any
+  /// node is unlabeled).
+  size_t CountDistinctLabels() const;
+
+  /// Calls fn(u, v) for every edge, in (u ascending, v ascending) order.
+  template <typename Fn>
+  void ForEachEdge(Fn&& fn) const {
+    qpgc::ForEachEdge(*this, std::forward<Fn>(fn));
+  }
+
+  /// All edges as a vector of pairs (u, v), sorted.
+  std::vector<std::pair<NodeId, NodeId>> EdgeList() const;
 
   /// Heap bytes of the snapshot (contrast with Graph::MemoryBytes()).
   size_t MemoryBytes() const;
@@ -59,8 +85,13 @@ class CsrGraph {
   std::vector<Label> labels_;
 };
 
+static_assert(GraphView<Graph>);
+static_assert(GraphView<CsrGraph>);
+static_assert(GraphView<ReversedView<CsrGraph>>);
+
 /// BFS reachability on the frozen view — the same stock algorithm as
-/// BfsReaches, on the flat layout.
+/// BfsReaches, on the flat layout. (Kept as a named entry point; it is the
+/// BfsReaches template instantiated for CsrGraph.)
 bool CsrBfsReaches(const CsrGraph& g, NodeId u, NodeId v,
                    PathMode mode = PathMode::kReflexive);
 

@@ -4,8 +4,8 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <unordered_set>
 
+#include "graph/graph_view.h"
 #include "util/memory.h"
 
 namespace qpgc {
@@ -59,8 +59,7 @@ bool Graph::HasEdge(NodeId u, NodeId v) const {
 }
 
 size_t Graph::CountDistinctLabels() const {
-  std::unordered_set<Label> seen(labels_.begin(), labels_.end());
-  return seen.size();
+  return qpgc::CountDistinctLabels(*this);
 }
 
 std::vector<std::pair<NodeId, NodeId>> Graph::EdgeList() const {

@@ -3,15 +3,18 @@
 // Strongly connected components (iterative Tarjan). Both compression schemes
 // start here: compressR collapses SCCs outright (the paper's optimization,
 // Section 3.2), and the bisimulation rank rb (Section 5.2) is defined over
-// the SCC graph.
+// the SCC graph. Templated over GraphView so the batch pipeline runs it on
+// frozen CSR snapshots; a Graph overload keeps existing call sites.
 
 #ifndef QPGC_GRAPH_SCC_H_
 #define QPGC_GRAPH_SCC_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "util/common.h"
 
 namespace qpgc {
@@ -31,6 +34,80 @@ struct SccResult {
 
 /// Tarjan's algorithm, iterative (no recursion; safe for deep graphs).
 /// O(|V| + |E|).
+template <GraphView G>
+SccResult ComputeScc(const G& g) {
+  const size_t n = g.num_nodes();
+  SccResult result;
+  result.component.assign(n, kInvalidNode);
+
+  constexpr uint32_t kUnvisited = UINT32_MAX;
+  std::vector<uint32_t> index(n, kUnvisited);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<uint8_t> on_stack(n, 0);
+  std::vector<NodeId> stack;  // Tarjan's node stack
+
+  // Explicit DFS frame: node plus position in its adjacency list.
+  struct Frame {
+    NodeId node;
+    size_t next_child;
+  };
+  std::vector<Frame> call_stack;
+  uint32_t next_index = 0;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    call_stack.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = 1;
+
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const NodeId u = frame.node;
+      const auto children = g.OutNeighbors(u);
+      if (frame.next_child < children.size()) {
+        const NodeId w = children[frame.next_child++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = 1;
+          call_stack.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[u] = std::min(lowlink[u], index[w]);
+        }
+      } else {
+        // u is done: maybe an SCC root.
+        if (lowlink[u] == index[u]) {
+          const NodeId comp = static_cast<NodeId>(result.num_components++);
+          std::vector<NodeId> comp_members;
+          NodeId w;
+          do {
+            w = stack.back();
+            stack.pop_back();
+            on_stack[w] = 0;
+            result.component[w] = comp;
+            comp_members.push_back(w);
+          } while (w != u);
+          const bool is_cyclic =
+              comp_members.size() > 1 ||
+              (comp_members.size() == 1 &&
+               ViewHasEdge(g, comp_members[0], comp_members[0]));
+          result.cyclic.push_back(is_cyclic ? 1 : 0);
+          std::sort(comp_members.begin(), comp_members.end());
+          result.members.push_back(std::move(comp_members));
+        }
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          const NodeId parent = call_stack.back().node;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[u]);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+/// Non-template Graph overload (compiled once in scc.cc).
 SccResult ComputeScc(const Graph& g);
 
 }  // namespace qpgc

@@ -2,88 +2,26 @@
 
 #include "graph/topology.h"
 
-#include <algorithm>
-
 namespace qpgc {
 
 std::vector<NodeId> TopologicalOrder(const Graph& dag) {
-  const size_t n = dag.num_nodes();
-  std::vector<uint32_t> in_degree(n, 0);
-  for (NodeId u = 0; u < n; ++u) {
-    for (NodeId v : dag.OutNeighbors(u)) {
-      // Self-loops are permitted (compressed class graphs mark cyclic classes
-      // with one) and ignored for ordering purposes; real multi-node cycles
-      // are caught by the size check below.
-      if (v != u) ++in_degree[v];
-    }
-  }
-  std::vector<NodeId> order;
-  order.reserve(n);
-  for (NodeId u = 0; u < n; ++u) {
-    if (in_degree[u] == 0) order.push_back(u);
-  }
-  for (size_t i = 0; i < order.size(); ++i) {
-    const NodeId u = order[i];
-    for (NodeId v : dag.OutNeighbors(u)) {
-      if (v == u) continue;
-      if (--in_degree[v] == 0) order.push_back(v);
-    }
-  }
-  QPGC_CHECK(order.size() == n);  // cycle otherwise
-  return order;
+  return TopologicalOrder<Graph>(dag);
 }
 
 std::vector<NodeId> ReverseTopologicalOrder(const Graph& dag) {
-  std::vector<NodeId> order = TopologicalOrder(dag);
-  std::reverse(order.begin(), order.end());
-  return order;
+  return ReverseTopologicalOrder<Graph>(dag);
 }
 
 std::vector<uint32_t> DagTopoRanks(const Graph& dag) {
-  std::vector<uint32_t> rank(dag.num_nodes(), 0);
-  for (NodeId c : ReverseTopologicalOrder(dag)) {
-    uint32_t r = 0;
-    for (NodeId d : dag.OutNeighbors(c)) {
-      if (d == c) continue;  // self-loop: same SCC, contributes no rank step
-      r = std::max(r, rank[d] + 1);
-    }
-    rank[c] = r;
-  }
-  return rank;
+  return DagTopoRanks<Graph>(dag);
 }
 
 std::vector<uint32_t> ReachTopoRanks(const Graph& g) {
-  const Condensation cond = BuildCondensation(g);
-  const std::vector<uint32_t> dag_rank = DagTopoRanks(cond.dag);
-  std::vector<uint32_t> rank(g.num_nodes());
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    rank[v] = dag_rank[cond.scc.component[v]];
-  }
-  return rank;
+  return ReachTopoRanks<Graph>(g);
 }
 
 std::vector<uint8_t> WellFounded(const Graph& g) {
-  const Condensation cond = BuildCondensation(g);
-  const size_t nc = cond.scc.num_components;
-  // WF(c) iff c is acyclic and all condensation children are WF.
-  std::vector<uint8_t> wf_comp(nc, 0);
-  for (NodeId c : ReverseTopologicalOrder(cond.dag)) {
-    bool wf = !cond.scc.cyclic[c];
-    if (wf) {
-      for (NodeId d : cond.dag.OutNeighbors(c)) {
-        if (!wf_comp[d]) {
-          wf = false;
-          break;
-        }
-      }
-    }
-    wf_comp[c] = wf ? 1 : 0;
-  }
-  std::vector<uint8_t> wf(g.num_nodes());
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    wf[v] = wf_comp[cond.scc.component[v]];
-  }
-  return wf;
+  return WellFounded<Graph>(g);
 }
 
 std::vector<int32_t> BisimRanksFromCondensation(const Condensation& cond) {
@@ -128,7 +66,7 @@ std::vector<int32_t> BisimRanksFromCondensation(const Condensation& cond) {
 }
 
 std::vector<int32_t> BisimRanks(const Graph& g) {
-  return BisimRanksFromCondensation(BuildCondensation(g));
+  return BisimRanks<Graph>(g);
 }
 
 }  // namespace qpgc

@@ -13,15 +13,20 @@
 //    children SCCs and rb(child) over non-well-founded ones. Lemma 9:
 //    bisimilar nodes have equal rank, and a node is only affected by updates
 //    of strictly lower rank.
+//
+// All entry points are GraphView templates (run on Graph or frozen CSR);
+// Graph overloads are compiled once in topology.cc.
 
 #ifndef QPGC_GRAPH_TOPOLOGY_H_
 #define QPGC_GRAPH_TOPOLOGY_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "graph/condensation.h"
 #include "graph/graph.h"
+#include "graph/graph_view.h"
 
 namespace qpgc {
 
@@ -30,27 +35,113 @@ inline constexpr int32_t kRankNegInf = INT32_MIN;
 
 /// Topological order of a DAG (every edge goes from an earlier to a later
 /// position). Aborts if the graph has a cycle — callers pass condensations.
-std::vector<NodeId> TopologicalOrder(const Graph& dag);
+template <GraphView G>
+std::vector<NodeId> TopologicalOrder(const G& dag) {
+  const size_t n = dag.num_nodes();
+  std::vector<uint32_t> in_degree(n, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : dag.OutNeighbors(u)) {
+      // Self-loops are permitted (compressed class graphs mark cyclic classes
+      // with one) and ignored for ordering purposes; real multi-node cycles
+      // are caught by the size check below.
+      if (v != u) ++in_degree[v];
+    }
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  for (NodeId u = 0; u < n; ++u) {
+    if (in_degree[u] == 0) order.push_back(u);
+  }
+  for (size_t i = 0; i < order.size(); ++i) {
+    const NodeId u = order[i];
+    for (NodeId v : dag.OutNeighbors(u)) {
+      if (v == u) continue;
+      if (--in_degree[v] == 0) order.push_back(v);
+    }
+  }
+  QPGC_CHECK(order.size() == n);  // cycle otherwise
+  return order;
+}
 
 /// Reverse topological order (children before parents).
-std::vector<NodeId> ReverseTopologicalOrder(const Graph& dag);
-
-/// The paper's topological rank r for every node of g (Section 5.1).
-std::vector<uint32_t> ReachTopoRanks(const Graph& g);
+template <GraphView G>
+std::vector<NodeId> ReverseTopologicalOrder(const G& dag) {
+  std::vector<NodeId> order = TopologicalOrder(dag);
+  std::reverse(order.begin(), order.end());
+  return order;
+}
 
 /// Topological ranks computed directly on a condensation DAG (rank of each
 /// DAG node; used when the condensation is already available).
-std::vector<uint32_t> DagTopoRanks(const Graph& dag);
+template <GraphView G>
+std::vector<uint32_t> DagTopoRanks(const G& dag) {
+  std::vector<uint32_t> rank(dag.num_nodes(), 0);
+  for (NodeId c : ReverseTopologicalOrder(dag)) {
+    uint32_t r = 0;
+    for (NodeId d : dag.OutNeighbors(c)) {
+      if (d == c) continue;  // self-loop: same SCC, contributes no rank step
+      r = std::max(r, rank[d] + 1);
+    }
+    rank[c] = r;
+  }
+  return rank;
+}
+
+/// The paper's topological rank r for every node of g (Section 5.1).
+template <GraphView G>
+std::vector<uint32_t> ReachTopoRanks(const G& g) {
+  const Condensation cond = BuildCondensation(g);
+  const std::vector<uint32_t> dag_rank = DagTopoRanks(cond.dag);
+  std::vector<uint32_t> rank(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    rank[v] = dag_rank[cond.scc.component[v]];
+  }
+  return rank;
+}
+
+/// Well-foundedness per node: WF(v) iff v cannot reach any cycle.
+template <GraphView G>
+std::vector<uint8_t> WellFounded(const G& g) {
+  const Condensation cond = BuildCondensation(g);
+  const size_t nc = cond.scc.num_components;
+  // WF(c) iff c is acyclic and all condensation children are WF.
+  std::vector<uint8_t> wf_comp(nc, 0);
+  for (NodeId c : ReverseTopologicalOrder(cond.dag)) {
+    bool wf = !cond.scc.cyclic[c];
+    if (wf) {
+      for (NodeId d : cond.dag.OutNeighbors(c)) {
+        if (!wf_comp[d]) {
+          wf = false;
+          break;
+        }
+      }
+    }
+    wf_comp[c] = wf ? 1 : 0;
+  }
+  std::vector<uint8_t> wf(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    wf[v] = wf_comp[cond.scc.component[v]];
+  }
+  return wf;
+}
+
+/// Same as BisimRanks, but reusing a precomputed condensation of g.
+std::vector<int32_t> BisimRanksFromCondensation(const Condensation& cond);
 
 /// Bisimulation ranks rb for every node of g (Section 5.2). Requires the
 /// condensation, which the caller typically already has.
-std::vector<int32_t> BisimRanks(const Graph& g);
+template <GraphView G>
+std::vector<int32_t> BisimRanks(const G& g) {
+  return BisimRanksFromCondensation(BuildCondensation(g));
+}
 
-/// Same, but reusing a precomputed condensation of g.
-std::vector<int32_t> BisimRanksFromCondensation(const Condensation& cond);
-
-/// Well-foundedness per node: WF(v) iff v cannot reach any cycle.
+// Non-template Graph overloads (compiled once in topology.cc).
+std::vector<NodeId> TopologicalOrder(const Graph& dag);
+std::vector<NodeId> ReverseTopologicalOrder(const Graph& dag);
+std::vector<uint32_t> DagTopoRanks(const Graph& dag);
+std::vector<uint32_t> ReachTopoRanks(const Graph& g);
 std::vector<uint8_t> WellFounded(const Graph& g);
+std::vector<int32_t> BisimRanks(const Graph& g);
 
 }  // namespace qpgc
 

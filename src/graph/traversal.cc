@@ -1,190 +1,39 @@
 // Copyright 2026 The QPGC Authors.
+//
+// Non-template Graph overloads of the traversal primitives. The algorithm
+// bodies live in traversal.h as GraphView templates; these shims compile the
+// Graph instantiation once into the library.
 
 #include "graph/traversal.h"
 
-#include <deque>
-
 namespace qpgc {
-
-namespace {
-
-inline std::span<const NodeId> Neighbors(const Graph& g, NodeId u,
-                                         Direction dir) {
-  return dir == Direction::kForward ? g.OutNeighbors(u) : g.InNeighbors(u);
-}
-
-}  // namespace
 
 std::vector<uint32_t> BfsDistances(const Graph& g, NodeId source,
                                    Direction dir) {
-  std::vector<uint32_t> dist(g.num_nodes(), kUnreachedDist);
-  std::deque<NodeId> queue;
-  dist[source] = 0;
-  queue.push_back(source);
-  while (!queue.empty()) {
-    const NodeId u = queue.front();
-    queue.pop_front();
-    for (NodeId v : Neighbors(g, u, dir)) {
-      if (dist[v] == kUnreachedDist) {
-        dist[v] = dist[u] + 1;
-        queue.push_back(v);
-      }
-    }
-  }
-  return dist;
+  return BfsDistances<Graph>(g, source, dir);
 }
 
 bool BfsReaches(const Graph& g, NodeId u, NodeId v, PathMode mode) {
-  if (mode == PathMode::kReflexive && u == v) return true;
-  // Non-empty semantics: start the search from u's successors.
-  std::vector<uint8_t> visited(g.num_nodes(), 0);
-  std::deque<NodeId> queue;
-  for (NodeId w : g.OutNeighbors(u)) {
-    if (w == v) return true;
-    if (!visited[w]) {
-      visited[w] = 1;
-      queue.push_back(w);
-    }
-  }
-  while (!queue.empty()) {
-    const NodeId x = queue.front();
-    queue.pop_front();
-    for (NodeId w : g.OutNeighbors(x)) {
-      if (w == v) return true;
-      if (!visited[w]) {
-        visited[w] = 1;
-        queue.push_back(w);
-      }
-    }
-  }
-  return false;
+  return BfsReaches<Graph>(g, u, v, mode);
 }
 
 bool BidirectionalReaches(const Graph& g, NodeId u, NodeId v, PathMode mode) {
-  if (mode == PathMode::kReflexive && u == v) return true;
-  // Two frontiers expanded alternately, smaller first. Mark sets: 1 = reached
-  // forward from u (via >= 1 edge), 2 = reached backward from v (via >= 1
-  // edge). Intersection, or a direct hit of v / u, means u reaches v.
-  std::vector<uint8_t> mark(g.num_nodes(), 0);
-  std::deque<NodeId> fwd, bwd;
-  for (NodeId w : g.OutNeighbors(u)) {
-    if (w == v) return true;
-    if (mark[w] != 1) {
-      mark[w] = 1;
-      fwd.push_back(w);
-    }
-  }
-  for (NodeId w : g.InNeighbors(v)) {
-    if (w == u) return true;
-    if (mark[w] == 1) return true;
-    if (mark[w] != 2) {
-      mark[w] = 2;
-      bwd.push_back(w);
-    }
-  }
-  while (!fwd.empty() && !bwd.empty()) {
-    if (fwd.size() <= bwd.size()) {
-      const size_t level = fwd.size();
-      for (size_t i = 0; i < level; ++i) {
-        const NodeId x = fwd.front();
-        fwd.pop_front();
-        for (NodeId w : g.OutNeighbors(x)) {
-          if (w == v || mark[w] == 2) return true;
-          if (mark[w] != 1) {
-            mark[w] = 1;
-            fwd.push_back(w);
-          }
-        }
-      }
-    } else {
-      const size_t level = bwd.size();
-      for (size_t i = 0; i < level; ++i) {
-        const NodeId x = bwd.front();
-        bwd.pop_front();
-        for (NodeId w : g.InNeighbors(x)) {
-          if (w == u || mark[w] == 1) return true;
-          if (mark[w] != 2) {
-            mark[w] = 2;
-            bwd.push_back(w);
-          }
-        }
-      }
-    }
-  }
-  return false;
+  return BidirectionalReaches<Graph>(g, u, v, mode);
 }
 
 bool DfsReaches(const Graph& g, NodeId u, NodeId v, PathMode mode) {
-  if (mode == PathMode::kReflexive && u == v) return true;
-  std::vector<uint8_t> visited(g.num_nodes(), 0);
-  std::vector<NodeId> stack;
-  for (NodeId w : g.OutNeighbors(u)) {
-    if (w == v) return true;
-    if (!visited[w]) {
-      visited[w] = 1;
-      stack.push_back(w);
-    }
-  }
-  while (!stack.empty()) {
-    const NodeId x = stack.back();
-    stack.pop_back();
-    for (NodeId w : g.OutNeighbors(x)) {
-      if (w == v) return true;
-      if (!visited[w]) {
-        visited[w] = 1;
-        stack.push_back(w);
-      }
-    }
-  }
-  return false;
+  return DfsReaches<Graph>(g, u, v, mode);
 }
 
 Bitset BoundedMultiSourceReach(const Graph& g, std::span<const NodeId> sources,
                                uint32_t max_depth, Direction dir) {
-  Bitset reached(g.num_nodes());
-  if (max_depth == 0) return reached;
-  const Direction step =
-      dir == Direction::kBackward ? Direction::kBackward : Direction::kForward;
-  std::vector<uint8_t> in_frontier(g.num_nodes(), 0);
-  std::vector<NodeId> frontier;
-  frontier.reserve(sources.size());
-  // Depth-0 layer: the sources themselves (not marked as reached — paths must
-  // be non-empty).
-  for (NodeId s : sources) {
-    if (!in_frontier[s]) {
-      in_frontier[s] = 1;
-      frontier.push_back(s);
-    }
-  }
-  std::vector<NodeId> next;
-  for (uint32_t depth = 1; depth <= max_depth && !frontier.empty(); ++depth) {
-    next.clear();
-    for (NodeId x : frontier) {
-      for (NodeId w : Neighbors(g, x, step)) {
-        if (!reached.Test(w)) {
-          reached.Set(w);
-          next.push_back(w);
-        }
-      }
-    }
-    frontier.swap(next);
-    if (max_depth == kUnboundedDepth && frontier.empty()) break;
-  }
-  return reached;
+  return BoundedMultiSourceReach<Graph>(g, sources, max_depth, dir);
 }
 
-Bitset Descendants(const Graph& g, NodeId u) {
-  const NodeId src[] = {u};
-  return BoundedMultiSourceReach(g, src, kUnboundedDepth, Direction::kForward);
-}
+Bitset Descendants(const Graph& g, NodeId u) { return Descendants<Graph>(g, u); }
 
-Bitset Ancestors(const Graph& g, NodeId u) {
-  const NodeId src[] = {u};
-  return BoundedMultiSourceReach(g, src, kUnboundedDepth, Direction::kBackward);
-}
+Bitset Ancestors(const Graph& g, NodeId u) { return Ancestors<Graph>(g, u); }
 
-bool OnCycle(const Graph& g, NodeId u) {
-  return BfsReaches(g, u, u, PathMode::kNonEmpty);
-}
+bool OnCycle(const Graph& g, NodeId u) { return OnCycle<Graph>(g, u); }
 
 }  // namespace qpgc

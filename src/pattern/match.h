@@ -12,13 +12,20 @@
 // The pruning operator is monotone, so iterating from any superset of the
 // greatest fixpoint converges exactly to it — which is what makes warm
 // starts (incremental matching, pattern/inc_match.h) exact as well.
+//
+// Templated over GraphView: the same matcher runs on the dynamic Graph, on
+// frozen CsrGraph snapshots, and on compressed graphs (the paper's claim
+// that stock algorithms run on Gr unchanged extends to frozen views).
 
 #ifndef QPGC_PATTERN_MATCH_H_
 #define QPGC_PATTERN_MATCH_H_
 
+#include <deque>
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/graph_view.h"
+#include "graph/traversal.h"
 #include "pattern/pattern.h"
 
 namespace qpgc {
@@ -48,18 +55,100 @@ struct MatchResult {
   }
 };
 
-/// Computes the maximum match of q in g.
-MatchResult Match(const Graph& g, const PatternQuery& q);
+namespace match_detail {
+
+// Prunes S(e.from) to nodes with a non-empty path of length <= e.bound to a
+// member of S(e.to). Returns true iff S(e.from) shrank.
+template <GraphView G>
+bool PruneByEdge(const G& g, const PatternEdge& e,
+                 std::vector<std::vector<NodeId>>& sets) {
+  const std::vector<NodeId>& targets = sets[e.to];
+  std::vector<NodeId>& source = sets[e.from];
+  if (source.empty()) return false;
+  if (targets.empty()) {
+    source.clear();
+    return true;
+  }
+  const Bitset allowed =
+      BoundedMultiSourceReach(g, targets, e.bound, Direction::kBackward);
+  const size_t before = source.size();
+  std::erase_if(source, [&](NodeId v) { return !allowed.Test(v); });
+  return source.size() != before;
+}
+
+}  // namespace match_detail
 
 /// Computes the greatest fixpoint starting from the given candidate sets,
 /// which must each be a superset of the true fixpoint (and a subset of the
 /// label-matching nodes). Used by Match (label candidates) and by
 /// IncBMatch (warm starts). Sets must be sorted.
-MatchResult MatchFrom(const Graph& g, const PatternQuery& q,
-                      std::vector<std::vector<NodeId>> candidates);
+template <GraphView G>
+MatchResult MatchFrom(const G& g, const PatternQuery& q,
+                      std::vector<std::vector<NodeId>> candidates) {
+  QPGC_CHECK(candidates.size() == q.num_nodes());
+  MatchResult result;
+  result.fixpoint_sets = std::move(candidates);
+
+  // Worklist of pattern-edge ids whose *target* set changed (initially all).
+  std::deque<uint32_t> worklist;
+  std::vector<uint8_t> queued(q.num_edges(), 0);
+  for (uint32_t e = 0; e < q.num_edges(); ++e) {
+    worklist.push_back(e);
+    queued[e] = 1;
+  }
+
+  while (!worklist.empty()) {
+    const uint32_t eid = worklist.front();
+    worklist.pop_front();
+    queued[eid] = 0;
+    const PatternEdge& e = q.edge(eid);
+    if (match_detail::PruneByEdge(g, e, result.fixpoint_sets)) {
+      // S(e.from) shrank: every edge whose target is e.from must re-check.
+      for (uint32_t other : q.in_edges(e.from)) {
+        if (!queued[other]) {
+          worklist.push_back(other);
+          queued[other] = 1;
+        }
+      }
+    }
+  }
+
+  result.matched = true;
+  for (uint32_t u = 0; u < q.num_nodes(); ++u) {
+    if (result.fixpoint_sets[u].empty()) {
+      result.matched = false;
+      break;
+    }
+  }
+  result.match_sets = result.matched
+                          ? result.fixpoint_sets
+                          : std::vector<std::vector<NodeId>>(q.num_nodes());
+  return result;
+}
+
+/// Computes the maximum match of q in g.
+template <GraphView G>
+MatchResult Match(const G& g, const PatternQuery& q) {
+  std::vector<std::vector<NodeId>> candidates(q.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (uint32_t u = 0; u < q.num_nodes(); ++u) {
+      if (q.label(u) == g.label(v)) candidates[u].push_back(v);
+    }
+  }
+  return MatchFrom(g, q, std::move(candidates));
+}
 
 /// True iff q matches g (Boolean pattern query; no post-processing needed on
 /// compressed graphs).
+template <GraphView G>
+bool BooleanMatch(const G& g, const PatternQuery& q) {
+  return Match(g, q).matched;
+}
+
+// Non-template Graph overloads (compiled once in match.cc).
+MatchResult Match(const Graph& g, const PatternQuery& q);
+MatchResult MatchFrom(const Graph& g, const PatternQuery& q,
+                      std::vector<std::vector<NodeId>> candidates);
 bool BooleanMatch(const Graph& g, const PatternQuery& q);
 
 }  // namespace qpgc

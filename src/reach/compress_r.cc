@@ -2,42 +2,16 @@
 
 #include "reach/compress_r.h"
 
-#include "graph/builder.h"
-#include "graph/reduction.h"
-#include "graph/topology.h"
+#include "graph/csr.h"
 #include "util/memory.h"
 
 namespace qpgc {
 
 ReachCompression CompressR(const Graph& g, const CompressROptions& options) {
-  ReachCompression rc;
-  rc.original_num_nodes = g.num_nodes();
-  rc.original_size = g.size();
-
-  ReachPartition part = ComputeReachEquivalence(g, options.block_cols);
-  rc.node_map = std::move(part.class_of);
-  rc.members = std::move(part.members);
-  rc.cyclic = std::move(part.cyclic);
-  const size_t nc = part.num_classes;
-
-  // Quotient edges. Intra-class edges can only occur inside a cyclic class
-  // (one SCC); they are represented by that class's self-loop.
-  GraphBuilder builder(nc);
-  for (NodeId c = 0; c < nc; ++c) {
-    if (rc.cyclic[c]) builder.AddEdge(c, c);
-  }
-  g.ForEachEdge([&](NodeId u, NodeId v) {
-    const NodeId cu = rc.node_map[u];
-    const NodeId cv = rc.node_map[v];
-    if (cu != cv) builder.AddEdge(cu, cv);
-  });
-  rc.quotient = builder.Build();
-
-  rc.gr = options.transitive_reduction
-              ? TransitiveReductionDag(rc.quotient, options.block_cols)
-              : rc.quotient;
-  rc.ranks = DagTopoRanks(rc.gr);
-  return rc;
+  // Freeze once, sweep flat: the whole batch pipeline (SCC, equivalence
+  // refinement, quotient construction) is read-only over adjacency.
+  const CsrGraph frozen(g);
+  return CompressR<CsrGraph>(frozen, options);
 }
 
 size_t ReachCompression::MemoryBytes() const {

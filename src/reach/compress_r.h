@@ -9,6 +9,11 @@
 // graph Gr, the node map R(v) = [v]_Re (for F, O(1) rewriting), the inverse
 // member index, per-class cyclic flags (non-empty self-reachability), and
 // topological ranks (maintained by incRCM; Lemma 7).
+//
+// The pipeline is a GraphView template; the `const Graph&` entry point
+// freezes a CsrGraph snapshot once and runs the whole pipeline on the flat
+// layout (the batch sweeps are read-only; the incremental layer keeps the
+// dynamic Graph as the source of truth).
 
 #ifndef QPGC_REACH_COMPRESS_R_H_
 #define QPGC_REACH_COMPRESS_R_H_
@@ -17,7 +22,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "graph/builder.h"
 #include "graph/graph.h"
+#include "graph/graph_view.h"
+#include "graph/reduction.h"
+#include "graph/topology.h"
 #include "reach/equivalence.h"
 
 namespace qpgc {
@@ -71,8 +80,44 @@ struct ReachCompression {
   size_t MemoryBytes() const;
 };
 
-/// Computes Gr = R(G). Exact; equivalent to the paper's quadratic algorithm
-/// but runs on the condensation with blocked bitsets.
+/// Computes Gr = R(G) from any read-only view. Exact; equivalent to the
+/// paper's quadratic algorithm but runs on the condensation with blocked
+/// bitsets.
+template <GraphView G>
+ReachCompression CompressR(const G& g, const CompressROptions& options = {}) {
+  ReachCompression rc;
+  rc.original_num_nodes = g.num_nodes();
+  rc.original_size = ViewSize(g);
+
+  ReachPartition part = ComputeReachEquivalence(g, options.block_cols);
+  rc.node_map = std::move(part.class_of);
+  rc.members = std::move(part.members);
+  rc.cyclic = std::move(part.cyclic);
+  const size_t nc = part.num_classes;
+
+  // Quotient edges. Intra-class edges can only occur inside a cyclic class
+  // (one SCC); they are represented by that class's self-loop.
+  GraphBuilder builder(nc);
+  for (NodeId c = 0; c < nc; ++c) {
+    if (rc.cyclic[c]) builder.AddEdge(c, c);
+  }
+  ForEachEdge(g, [&](NodeId u, NodeId v) {
+    const NodeId cu = rc.node_map[u];
+    const NodeId cv = rc.node_map[v];
+    if (cu != cv) builder.AddEdge(cu, cv);
+  });
+  rc.quotient = builder.Build();
+
+  rc.gr = options.transitive_reduction
+              ? TransitiveReductionDag(rc.quotient, options.block_cols)
+              : rc.quotient;
+  rc.ranks = DagTopoRanks(rc.gr);
+  return rc;
+}
+
+/// Batch entry point for the dynamic Graph: freezes a CsrGraph snapshot
+/// once, then runs the pipeline above on the flat layout. Defined in
+/// compress_r.cc.
 ReachCompression CompressR(const Graph& g, const CompressROptions& options = {});
 
 }  // namespace qpgc

@@ -7,7 +7,6 @@
 #include <unordered_map>
 
 #include "graph/closure.h"
-#include "graph/condensation.h"
 #include "graph/topology.h"
 #include "util/bitset.h"
 #include "util/hash.h"
@@ -50,7 +49,10 @@ size_t RefineByRows(const BitMatrix& rows, std::vector<NodeId>& cls) {
   return next_id;
 }
 
-// Groups DAG nodes by augmented ancestor AND descendant profiles.
+}  // namespace
+
+namespace reach_detail {
+
 std::vector<NodeId> PartitionDagNodes(const Graph& dag,
                                       const std::vector<uint8_t>& cyclic,
                                       size_t block_cols) {
@@ -76,12 +78,10 @@ std::vector<NodeId> PartitionDagNodes(const Graph& dag,
   return cls;
 }
 
-// Renumbers classes to be dense in order of first appearance and expands a
-// per-DAG-node partition to original nodes via the SCC map.
-ReachPartition ExpandToNodes(const Graph& g, const Condensation& cond,
+ReachPartition ExpandToNodes(size_t num_nodes, const Condensation& cond,
                              const std::vector<NodeId>& dag_cls) {
   ReachPartition part;
-  const size_t n = g.num_nodes();
+  const size_t n = num_nodes;
   part.class_of.assign(n, kInvalidNode);
 
   std::vector<NodeId> dense(cond.scc.num_components, kInvalidNode);
@@ -104,7 +104,7 @@ ReachPartition ExpandToNodes(const Graph& g, const Condensation& cond,
   return part;
 }
 
-}  // namespace
+}  // namespace reach_detail
 
 std::vector<std::vector<NodeId>> ReachPartition::CanonicalClasses() const {
   std::vector<std::vector<NodeId>> classes = members;
@@ -113,11 +113,7 @@ std::vector<std::vector<NodeId>> ReachPartition::CanonicalClasses() const {
 }
 
 ReachPartition ComputeReachEquivalence(const Graph& g, size_t block_cols) {
-  const Condensation cond = BuildCondensation(g);
-  std::vector<uint8_t> cyclic(cond.scc.cyclic.begin(), cond.scc.cyclic.end());
-  const std::vector<NodeId> dag_cls =
-      PartitionDagNodes(cond.dag, cyclic, block_cols);
-  return ExpandToNodes(g, cond, dag_cls);
+  return ComputeReachEquivalence<Graph>(g, block_cols);
 }
 
 ReachPartition ComputeReachEquivalenceRef(const Graph& g) {

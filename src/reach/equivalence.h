@@ -18,7 +18,9 @@
 //  * ComputeReachEquivalence — condensation + exact partition refinement on
 //    blocked descendant/ancestor bitsets (refinement keys on raw row bytes,
 //    so no hash-collision risk). O(|E_dag| * |V_dag| / 64) word ops with
-//    O(|V_dag| * block_cols / 8) working memory.
+//    O(|V_dag| * block_cols / 8) working memory. Templated over GraphView:
+//    only the SCC condensation reads the input; the refinement runs on the
+//    (small) condensation DAG.
 //  * ComputeReachEquivalenceRef — the paper's own O(|V|(|V| + |E|)) method
 //    (per-node BFS for ancestor and descendant sets), used as ground truth.
 
@@ -28,7 +30,9 @@
 #include <cstddef>
 #include <vector>
 
+#include "graph/condensation.h"
 #include "graph/graph.h"
+#include "graph/graph_view.h"
 
 namespace qpgc {
 
@@ -48,7 +52,30 @@ struct ReachPartition {
   std::vector<std::vector<NodeId>> CanonicalClasses() const;
 };
 
+namespace reach_detail {
+
+/// Groups DAG nodes by augmented ancestor AND descendant profiles.
+std::vector<NodeId> PartitionDagNodes(const Graph& dag,
+                                      const std::vector<uint8_t>& cyclic,
+                                      size_t block_cols);
+
+/// Renumbers classes to be dense in order of first appearance and expands a
+/// per-DAG-node partition to original nodes via the SCC map.
+ReachPartition ExpandToNodes(size_t num_nodes, const Condensation& cond,
+                             const std::vector<NodeId>& dag_cls);
+
+}  // namespace reach_detail
+
 /// Fast exact computation (condensation + blocked refinement).
+template <GraphView G>
+ReachPartition ComputeReachEquivalence(const G& g, size_t block_cols = 8192) {
+  const Condensation cond = BuildCondensation(g);
+  const std::vector<NodeId> dag_cls =
+      reach_detail::PartitionDagNodes(cond.dag, cond.scc.cyclic, block_cols);
+  return reach_detail::ExpandToNodes(g.num_nodes(), cond, dag_cls);
+}
+
+/// Non-template Graph overload (compiled once in equivalence.cc).
 ReachPartition ComputeReachEquivalence(const Graph& g,
                                        size_t block_cols = 8192);
 

@@ -3,14 +3,26 @@
 
 Usage:
   tools/bench_diff.py --baseline-dir DIR --new-dir DIR [--tolerance PCT]
-                      [--strict] [NAME...]
+                      [--strict] [--subset-ok] [--trajectory N] [NAME...]
 
 For each bench NAME (default: every BENCH_*.json present in --new-dir),
 loads DIR/BENCH_<name>.json from both directories and compares the numeric
-"metrics" maps. Timing metrics (keys ending in _secs or containing
-"_secs.") are reported but never counted as regressions — wall clock on CI
-runners is too noisy; structural metrics (ratios, sizes, counts, speedups)
-are compared with the relative tolerance.
+"metrics" maps. Timing metrics (keys ending in _secs, containing "_secs.",
+or containing "speedup" — wall-clock-derived ratios) are reported but never
+counted as regressions — wall clock on CI runners is too noisy; structural
+metrics (ratios, sizes, counts) are compared with the relative tolerance.
+
+--subset-ok: metrics present in the baseline but absent from the new run
+are reported as SKIP instead of counted as drift. Use when the new run is
+a deliberately reduced config of the same bench (e.g. the CI small-depth
+run of bench_ablation_bisim via --max-depth).
+
+--trajectory N: additionally prints, per bench, each structural metric's
+trajectory over the last N commits that touched the committed baseline
+file (via `git log` / `git show` in --baseline-dir). This is what makes
+slow drift visible: per-PR tolerance can pass 9% regressions forever; the
+trajectory shows the cumulative slide. Requires git history; degrades to a
+note when the repository is shallow or git is unavailable.
 
 Default mode is warn-only: always exits 0 and prints a summary table, so a
 CI step can surface drift without gating merges. --strict exits 1 when a
@@ -21,6 +33,7 @@ import argparse
 import glob
 import json
 import os
+import subprocess
 import sys
 
 
@@ -34,7 +47,78 @@ def load_metrics(path):
 
 
 def is_timing(key):
-    return key.endswith("_secs") or "_secs." in key
+    return key.endswith("_secs") or "_secs." in key or "speedup" in key
+
+
+def print_table(rows, header):
+    if not rows:
+        return
+    widths = [max(len(str(r[i])) for r in rows) for i in range(len(header))]
+    widths = [max(w, len(h)) for w, h in zip(widths, header)]
+    fmt = "  ".join("{:<%d}" % w for w in widths)
+    print(fmt.format(*header))
+    print(fmt.format(*("-" * w for w in widths)))
+    for r in rows:
+        print(fmt.format(*(str(c) for c in r)))
+
+
+def git_metric_history(baseline_dir, name, depth):
+    """Returns [(short_sha, metrics_dict)] for the last `depth` commits that
+    touched BENCH_<name>.json, oldest first; None when git can't answer."""
+    rel = f"BENCH_{name}.json"
+
+    def run(args):
+        return subprocess.run(
+            ["git", "-C", baseline_dir] + args, capture_output=True,
+            text=True, timeout=30)
+
+    try:
+        log = run(["log", "-n", str(depth), "--format=%h", "--", rel])
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if log.returncode != 0:
+        return None
+    shas = [s for s in log.stdout.split() if s]
+    history = []
+    for sha in reversed(shas):  # oldest first
+        # "./" makes the path cwd-relative (gitrevisions); a bare path would
+        # resolve against the repo root and break for subdirectory baselines.
+        show = run(["show", f"{sha}:./{rel}"])
+        if show.returncode != 0:
+            continue  # file absent at that commit (or shallow-clone gap)
+        try:
+            history.append((sha, json.loads(show.stdout).get("metrics", {})))
+        except ValueError:
+            continue
+    return history
+
+
+def print_trajectory(baseline_dir, name, new_metrics, depth):
+    history = git_metric_history(baseline_dir, name, depth)
+    if not history:
+        print(f"trajectory[{name}]: no usable git history "
+              "(shallow clone, or file never committed)")
+        return
+    columns = [sha for sha, _ in history] + ["new"]
+    # Union of keys across history and the new run: a reduced-config new
+    # run (--subset-ok) must not hide the baseline metrics from the view.
+    all_keys = set(new_metrics or {})
+    for _, metrics in history:
+        all_keys.update(metrics)
+    keys = sorted(k for k in all_keys if not is_timing(k))
+    rows = []
+    for key in keys:
+        cells = []
+        for _, metrics in history:
+            cells.append(f"{float(metrics[key]):g}" if key in metrics else "-")
+        if new_metrics is not None:
+            cells.append(f"{float(new_metrics[key]):g}"
+                         if key in new_metrics else "-")
+        else:
+            cells.append("-")
+        rows.append([key] + cells)
+    print(f"\ntrajectory[{name}] (oldest -> newest):")
+    print_table(rows, tuple(["metric"] + columns))
 
 
 def main():
@@ -46,6 +130,12 @@ def main():
                              "(percent, default 10)")
     parser.add_argument("--strict", action="store_true",
                         help="exit 1 on structural drift beyond tolerance")
+    parser.add_argument("--subset-ok", action="store_true",
+                        help="metrics missing from the new run are SKIP, "
+                             "not drift (reduced-config runs)")
+    parser.add_argument("--trajectory", type=int, default=0, metavar="N",
+                        help="also print each metric's value over the last "
+                             "N commits of the committed baseline")
     parser.add_argument("names", nargs="*",
                         help="bench names (e.g. table1_reach_ratio); default "
                              "is every BENCH_*.json in --new-dir")
@@ -62,11 +152,13 @@ def main():
 
     drifted = 0
     rows = []
+    new_by_name = {}
     for name in names:
         base_path = os.path.join(args.baseline_dir, f"BENCH_{name}.json")
         new_path = os.path.join(args.new_dir, f"BENCH_{name}.json")
         base, base_err = load_metrics(base_path)
         new, new_err = load_metrics(new_path)
+        new_by_name[name] = new
         if base is None or new is None:
             # A missing or unparseable file is the loudest possible
             # regression (the bench crashed before writing); never let
@@ -78,11 +170,15 @@ def main():
         for key in sorted(set(base) | set(new)):
             if key not in base or key not in new:
                 # A structural metric that vanished from the new run counts
-                # as drift; a metric that only just appeared does not.
-                if key in base and not is_timing(key):
-                    drifted += 1
-                rows.append((name, key, "-", "only in one side",
-                             "GONE" if key in base else "NEW"))
+                # as drift (unless --subset-ok says the new run is a reduced
+                # config); a metric that only just appeared does not.
+                if key in base:
+                    status = "SKIP" if args.subset_ok else "GONE"
+                    if status == "GONE" and not is_timing(key):
+                        drifted += 1
+                else:
+                    status = "NEW"
+                rows.append((name, key, "-", "only in one side", status))
                 continue
             b, n = float(base[key]), float(new[key])
             if b == n:
@@ -100,20 +196,20 @@ def main():
                              status))
 
     if rows:
-        widths = [max(len(str(r[i])) for r in rows) for i in range(5)]
-        header = ("bench", "metric", "baseline -> new", "delta", "status")
-        widths = [max(w, len(h)) for w, h in zip(widths, header)]
-        fmt = "  ".join("{:<%d}" % w for w in widths)
-        print(fmt.format(*header))
-        print(fmt.format(*("-" * w for w in widths)))
-        for r in rows:
-            print(fmt.format(*(str(c) for c in r)))
+        print_table(rows, ("bench", "metric", "baseline -> new", "delta",
+                           "status"))
     else:
         print("bench_diff: all compared metrics identical")
 
     print(f"\nbench_diff: {drifted} structural metric(s) beyond "
           f"{args.tolerance:.1f}% tolerance "
           f"({'strict' if args.strict else 'warn-only'})")
+
+    if args.trajectory > 0:
+        for name in names:
+            print_trajectory(args.baseline_dir, name, new_by_name.get(name),
+                             args.trajectory)
+
     return 1 if (args.strict and drifted) else 0
 
 
