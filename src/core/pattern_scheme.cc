@@ -22,6 +22,12 @@ PatternCompression CompressB(const Graph& g, const CompressBOptions& options) {
 }
 
 MatchResult ExpandMatch(const PatternCompression& pc, const MatchResult& on_gr) {
+  return ExpandMatch(pc.members, pc.node_map, on_gr);
+}
+
+MatchResult ExpandMatch(const std::vector<std::vector<NodeId>>& members,
+                        const std::vector<NodeId>& node_map,
+                        const MatchResult& on_gr) {
   MatchResult expanded;
   expanded.matched = on_gr.matched;
   // P is linear in the answer (Theorem 4): expand the answer sets only. The
@@ -32,19 +38,19 @@ MatchResult ExpandMatch(const PatternCompression& pc, const MatchResult& on_gr) 
   // Member lists are disjoint sorted runs; a block-id mask plus one pass
   // over the node map emits each answer set in ascending order without a
   // comparison sort.
-  Bitset block_mask(pc.members.size());
+  Bitset block_mask(members.size());
   for (size_t u = 0; u < on_gr.match_sets.size(); ++u) {
     size_t total = 0;
     for (NodeId block : on_gr.match_sets[u]) {
-      QPGC_CHECK(block < pc.members.size());
+      QPGC_CHECK(block < members.size());
       block_mask.Set(block);
-      total += pc.members[block].size();
+      total += members[block].size();
     }
     auto& out = expanded.match_sets[u];
     out.reserve(total);
     if (total > 0) {
-      for (NodeId v = 0; v < pc.node_map.size(); ++v) {
-        if (block_mask.Test(pc.node_map[v])) out.push_back(v);
+      for (NodeId v = 0; v < node_map.size(); ++v) {
+        if (block_mask.Test(node_map[v])) out.push_back(v);
       }
     }
     for (NodeId block : on_gr.match_sets[u]) block_mask.Clear(block);

@@ -99,6 +99,14 @@ PatternCompression CompressB(const Graph& g, const CompressBOptions& options = {
 /// into its member nodes. O(|Qp(G)|).
 MatchResult ExpandMatch(const PatternCompression& pc, const MatchResult& on_gr);
 
+/// Same P from the raw quotient metadata (member index + node map) instead
+/// of a PatternCompression. This is the serving entry point: a frozen
+/// ServingSnapshot carries copies of exactly these two structures next to
+/// its CSR quotient and never materializes a PatternCompression.
+MatchResult ExpandMatch(const std::vector<std::vector<NodeId>>& members,
+                        const std::vector<NodeId>& node_map,
+                        const MatchResult& on_gr);
+
 /// Convenience: evaluate a pattern on the compressed graph (F = identity,
 /// then Match on Gr, then P).
 MatchResult MatchOnCompressed(const PatternCompression& pc,

@@ -6,12 +6,18 @@
 
 namespace qpgc {
 
-CsrGraph::CsrGraph(const Graph& g) {
+CsrGraph::CsrGraph() { Refreeze(Graph(0)); }
+
+CsrGraph::CsrGraph(const Graph& g) { Refreeze(g); }
+
+void CsrGraph::Refreeze(const Graph& g) {
   const size_t n = g.num_nodes();
-  labels_ = g.labels();
+  labels_.assign(g.labels().begin(), g.labels().end());
 
   out_offsets_.resize(n + 1);
   in_offsets_.resize(n + 1);
+  out_targets_.clear();
+  in_targets_.clear();
   out_targets_.reserve(g.num_edges());
   in_targets_.reserve(g.num_edges());
   for (NodeId u = 0; u < n; ++u) {

@@ -29,8 +29,18 @@ namespace qpgc {
 /// Immutable CSR snapshot of a Graph (both directions, labels copied).
 class CsrGraph {
  public:
+  /// An empty snapshot (0 nodes); a buffer to Refreeze into later.
+  CsrGraph();
+
   /// Freezes a snapshot of g.
   explicit CsrGraph(const Graph& g);
+
+  /// Re-freezes this snapshot from g in place, reusing the existing arrays'
+  /// capacity. This is what lets a serving publish cycle recycle a retired
+  /// snapshot buffer instead of paying a fresh allocation per version
+  /// (serve/snapshot_manager.h); semantically identical to `*this =
+  /// CsrGraph(g)`.
+  void Refreeze(const Graph& g);
 
   size_t num_nodes() const { return out_offsets_.size() - 1; }
   size_t num_edges() const { return out_targets_.size(); }

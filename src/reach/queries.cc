@@ -8,16 +8,7 @@ namespace qpgc {
 
 bool EvalReach(const Graph& g, NodeId u, NodeId v, PathMode mode,
                ReachAlgorithm algo) {
-  switch (algo) {
-    case ReachAlgorithm::kBfs:
-      return BfsReaches(g, u, v, mode);
-    case ReachAlgorithm::kBiBfs:
-      return BidirectionalReaches(g, u, v, mode);
-    case ReachAlgorithm::kDfs:
-      return DfsReaches(g, u, v, mode);
-  }
-  QPGC_CHECK(false);
-  return false;
+  return EvalReach<Graph>(g, u, v, mode, algo);
 }
 
 RewrittenReachQuery RewriteReachQuery(const ReachCompression& rc,

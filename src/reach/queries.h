@@ -34,7 +34,26 @@ struct RewrittenReachQuery {
 /// Stock evaluation algorithms — the exact same code runs on G and on Gr.
 enum class ReachAlgorithm { kBfs, kBiBfs, kDfs };
 
-/// Evaluates a reachability query on any graph with the chosen algorithm.
+/// Evaluates a reachability query on any read-only view with the chosen
+/// algorithm. The template is what lets a frozen ServingSnapshot
+/// (serve/snapshot.h) answer rewritten queries on its CSR quotient with the
+/// very same stock code that runs on the dynamic Graph.
+template <GraphView G>
+bool EvalReach(const G& g, NodeId u, NodeId v, PathMode mode,
+               ReachAlgorithm algo) {
+  switch (algo) {
+    case ReachAlgorithm::kBfs:
+      return BfsReaches(g, u, v, mode);
+    case ReachAlgorithm::kBiBfs:
+      return BidirectionalReaches(g, u, v, mode);
+    case ReachAlgorithm::kDfs:
+      return DfsReaches(g, u, v, mode);
+  }
+  QPGC_CHECK(false);
+  return false;
+}
+
+/// Non-template Graph overload (compiled once in queries.cc).
 bool EvalReach(const Graph& g, NodeId u, NodeId v, PathMode mode,
                ReachAlgorithm algo);
 

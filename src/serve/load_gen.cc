@@ -1,0 +1,48 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "serve/load_gen.h"
+
+#include "pattern/pattern_gen.h"
+#include "util/rng.h"
+
+namespace qpgc {
+
+std::vector<PatternQuery> ServeLoadPatterns(const Graph& g, size_t count,
+                                            uint64_t seed) {
+  std::vector<PatternQuery> patterns;
+  if (g.CountDistinctLabels() <= 1) return patterns;
+  PatternGenOptions options;
+  options.num_nodes = 3;
+  options.num_edges = 3;
+  options.max_bound = 2;
+  const std::vector<Label> labels = DistinctLabels(g);
+  patterns.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    patterns.push_back(RandomPattern(labels, options, seed + i));
+  }
+  return patterns;
+}
+
+ReaderLoadCounters RunReaderLoad(const QueryService& service,
+                                 const std::vector<PatternQuery>& patterns,
+                                 uint64_t seed,
+                                 const std::atomic<bool>& stop) {
+  ReaderLoadCounters counters;
+  Rng rng(seed);
+  while (!stop.load(std::memory_order_relaxed)) {
+    const auto snap = service.Pin();
+    const size_t n = snap->original_num_nodes();
+    for (int i = 0; i < 64; ++i) {
+      (void)snap->Reach(static_cast<NodeId>(rng.Uniform(n)),
+                        static_cast<NodeId>(rng.Uniform(n)));
+      ++counters.reach_queries;
+    }
+    if (!patterns.empty()) {
+      (void)snap->BooleanMatch(patterns[rng.Uniform(patterns.size())]);
+      ++counters.match_queries;
+    }
+  }
+  return counters;
+}
+
+}  // namespace qpgc

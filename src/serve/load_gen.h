@@ -1,0 +1,43 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Shared reader-side load for the serving simulator (qpgc_tool serve-sim)
+// and bench_serving: one pattern-set builder and one pin-then-hammer query
+// loop, so the tool and the bench drive the exact same query mix and a
+// change to the workload (ratio, pattern shape) lands in both at once.
+
+#ifndef QPGC_SERVE_LOAD_GEN_H_
+#define QPGC_SERVE_LOAD_GEN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "pattern/pattern.h"
+#include "serve/query_service.h"
+
+namespace qpgc {
+
+/// Small weakly-connected patterns (3 nodes / 3 edges, bounds <= 2) drawn
+/// from g's labels, for boolean-match load. Returns an empty set for
+/// effectively unlabeled graphs — a single-label pattern matches everything
+/// and measures nothing.
+std::vector<PatternQuery> ServeLoadPatterns(const Graph& g, size_t count,
+                                            uint64_t seed);
+
+/// What one reader's RunReaderLoad call did.
+struct ReaderLoadCounters {
+  uint64_t reach_queries = 0;
+  uint64_t match_queries = 0;
+};
+
+/// The reader hammer loop: until `stop` is set, pin the current snapshot,
+/// issue 64 random reach queries, then one boolean match (when patterns are
+/// available). Deterministic in `seed` up to snapshot timing.
+ReaderLoadCounters RunReaderLoad(const QueryService& service,
+                                 const std::vector<PatternQuery>& patterns,
+                                 uint64_t seed,
+                                 const std::atomic<bool>& stop);
+
+}  // namespace qpgc
+
+#endif  // QPGC_SERVE_LOAD_GEN_H_

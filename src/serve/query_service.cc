@@ -1,0 +1,20 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "serve/query_service.h"
+
+namespace qpgc {
+
+bool QueryService::Reach(NodeId u, NodeId v, PathMode mode,
+                         ReachAlgorithm algo) const {
+  return Pin()->Reach(u, v, mode, algo);
+}
+
+MatchResult QueryService::Match(const PatternQuery& q) const {
+  return Pin()->Match(q);
+}
+
+bool QueryService::BooleanMatch(const PatternQuery& q) const {
+  return Pin()->BooleanMatch(q);
+}
+
+}  // namespace qpgc

@@ -1,0 +1,46 @@
+// Copyright 2026 The QPGC Authors.
+//
+// QueryService: the thin read-path facade over a SnapshotManager. Each call
+// pins the current published snapshot once and routes the query against it,
+// so a query always sees one consistent version even while the writer keeps
+// publishing. Callers that issue several queries against the same version
+// should Pin() once and query the snapshot directly.
+//
+// Thread-safe: any number of threads may share one QueryService. The
+// referenced SnapshotManager must outlive it.
+
+#ifndef QPGC_SERVE_QUERY_SERVICE_H_
+#define QPGC_SERVE_QUERY_SERVICE_H_
+
+#include <memory>
+
+#include "serve/snapshot_manager.h"
+
+namespace qpgc {
+
+class QueryService {
+ public:
+  explicit QueryService(const SnapshotManager& manager) : manager_(manager) {}
+
+  /// Pins the current snapshot (for multi-query consistency).
+  std::shared_ptr<const ServingSnapshot> Pin() const {
+    return manager_.Acquire();
+  }
+
+  /// QR(u, v) against the current snapshot.
+  bool Reach(NodeId u, NodeId v, PathMode mode = PathMode::kReflexive,
+             ReachAlgorithm algo = ReachAlgorithm::kBfs) const;
+
+  /// Maximum match of q against the current snapshot, expanded via P.
+  MatchResult Match(const PatternQuery& q) const;
+
+  /// Boolean pattern query against the current snapshot.
+  bool BooleanMatch(const PatternQuery& q) const;
+
+ private:
+  const SnapshotManager& manager_;
+};
+
+}  // namespace qpgc
+
+#endif  // QPGC_SERVE_QUERY_SERVICE_H_

@@ -1,0 +1,48 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "serve/snapshot.h"
+
+#include "util/memory.h"
+
+namespace qpgc {
+
+void ServingSnapshot::Freeze(uint64_t version, const ReachCompression& rc,
+                             const PatternCompression& pc) {
+  version_ = version;
+  // Copy-assignment reuses the destination buffers' capacity; Refreeze does
+  // the same for the CSR arrays. Steady-state publishing therefore recycles
+  // a retired snapshot's allocations wholesale.
+  reach_gr_.Refreeze(rc.gr);
+  reach_map_ = rc.node_map;
+  pattern_gr_.Refreeze(pc.gr);
+  pattern_map_ = pc.node_map;
+  members_ = pc.members;
+}
+
+bool ServingSnapshot::Reach(NodeId u, NodeId v, PathMode mode,
+                            ReachAlgorithm algo) const {
+  QPGC_CHECK(u < reach_map_.size() && v < reach_map_.size());
+  if (mode == PathMode::kReflexive && u == v) return true;
+  // All remaining cases reduce to non-empty reachability on Gr: distinct
+  // classes are connected iff any pair of their members is; equal classes
+  // answer the diagonal through their self-loop (reach/queries.cc keeps the
+  // same reduction for the unfrozen artifact).
+  return EvalReach(reach_gr_, reach_map_[u], reach_map_[v],
+                   PathMode::kNonEmpty, algo);
+}
+
+MatchResult ServingSnapshot::Match(const PatternQuery& q) const {
+  return ExpandMatch(members_, pattern_map_, qpgc::Match(pattern_gr_, q));
+}
+
+bool ServingSnapshot::BooleanMatch(const PatternQuery& q) const {
+  return qpgc::BooleanMatch(pattern_gr_, q);
+}
+
+size_t ServingSnapshot::MemoryBytes() const {
+  return reach_gr_.MemoryBytes() + VectorBytes(reach_map_) +
+         pattern_gr_.MemoryBytes() + VectorBytes(pattern_map_) +
+         NestedVectorBytes(members_);
+}
+
+}  // namespace qpgc

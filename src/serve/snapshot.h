@@ -1,0 +1,88 @@
+// Copyright 2026 The QPGC Authors.
+//
+// ServingSnapshot: one immutable, versioned serving artifact. It bundles
+// everything the read path needs to answer the paper's two query classes —
+// the frozen CSR layout of the reachability quotient Gr plus its node map
+// (Section 3: F rewrites, then a stock algorithm runs on Gr), and the frozen
+// bisimulation quotient plus node map and member index (Section 4: F is the
+// identity, P expands blocks) — under a single version id.
+//
+// Once published (serve/snapshot_manager.h), a snapshot is never mutated
+// again: readers pin it with a shared_ptr for the duration of a query and
+// run on it lock-free while the writer keeps compressing new versions.
+// Freeze() is the writer-side fill; it reuses the buffers of a retired
+// snapshot (CsrGraph::Refreeze + vector assign), so steady-state publishing
+// allocates ~nothing.
+
+#ifndef QPGC_SERVE_SNAPSHOT_H_
+#define QPGC_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pattern_scheme.h"
+#include "graph/csr.h"
+#include "pattern/match.h"
+#include "pattern/pattern.h"
+#include "reach/compress_r.h"
+#include "reach/queries.h"
+
+namespace qpgc {
+
+/// An immutable, versioned pair of frozen compressed graphs plus the
+/// quotient metadata needed to answer rewritten queries.
+class ServingSnapshot {
+ public:
+  /// An empty snapshot (version 0, no nodes); a buffer to Freeze() into.
+  ServingSnapshot() = default;
+
+  // --- Writer side ----------------------------------------------------------
+
+  /// Fills this snapshot from the mutable compressed state, reusing the
+  /// existing arrays' capacity. Must not be called on a published snapshot
+  /// (the manager only freezes into buffers no reader can observe).
+  void Freeze(uint64_t version, const ReachCompression& rc,
+              const PatternCompression& pc);
+
+  // --- Read side (thread-safe: touches only immutable state) ---------------
+
+  uint64_t version() const { return version_; }
+  /// |V| of the original graph this version was compressed from.
+  size_t original_num_nodes() const { return reach_map_.size(); }
+
+  /// QR(u, v) on the original node ids: rewrite through the reach node map,
+  /// then run the stock algorithm on the frozen quotient (Theorem 2).
+  bool Reach(NodeId u, NodeId v, PathMode mode = PathMode::kReflexive,
+             ReachAlgorithm algo = ReachAlgorithm::kBfs) const;
+
+  /// The maximum match of q, expanded back to original node ids (F = id,
+  /// Match on the frozen quotient, then P; Theorem 4).
+  MatchResult Match(const PatternQuery& q) const;
+
+  /// Boolean pattern query — evaluated on the frozen quotient, no P needed.
+  bool BooleanMatch(const PatternQuery& q) const;
+
+  /// The frozen reachability quotient (for stats / direct sweeps).
+  const CsrGraph& reach_gr() const { return reach_gr_; }
+  /// The frozen bisimulation quotient.
+  const CsrGraph& pattern_gr() const { return pattern_gr_; }
+
+  /// Heap bytes held by this snapshot.
+  size_t MemoryBytes() const;
+
+ private:
+  uint64_t version_ = 0;
+
+  // Reachability side: frozen Gr + R(v) map.
+  CsrGraph reach_gr_;
+  std::vector<NodeId> reach_map_;
+
+  // Pattern side: frozen quotient + block map + member index (what P needs).
+  CsrGraph pattern_gr_;
+  std::vector<NodeId> pattern_map_;
+  std::vector<std::vector<NodeId>> members_;
+};
+
+}  // namespace qpgc
+
+#endif  // QPGC_SERVE_SNAPSHOT_H_

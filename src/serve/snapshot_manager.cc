@@ -1,0 +1,138 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "serve/snapshot_manager.h"
+
+#include <utility>
+
+#include "util/common.h"
+
+namespace qpgc {
+
+std::unique_ptr<ServingSnapshot> SnapshotManager::BufferPool::Take() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spares_.empty()) return nullptr;
+  std::unique_ptr<ServingSnapshot> buf = std::move(spares_.back());
+  spares_.pop_back();
+  return buf;
+}
+
+void SnapshotManager::BufferPool::Return(std::unique_ptr<ServingSnapshot> buf) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (spares_.size() < kMaxSpares) {
+      spares_.push_back(std::move(buf));
+      return;
+    }
+  }
+  // Pool full: let the excess buffer die outside the lock.
+}
+
+std::shared_ptr<const ServingSnapshot> SnapshotManager::Slot::load() const {
+#ifdef QPGC_SERVE_ATOMIC_SLOT
+  return ptr_.load(std::memory_order_acquire);
+#else
+  std::lock_guard<std::mutex> lock(mu_);
+  return ptr_;
+#endif
+}
+
+void SnapshotManager::Slot::store(std::shared_ptr<const ServingSnapshot> p) {
+#ifdef QPGC_SERVE_ATOMIC_SLOT
+  ptr_.store(std::move(p), std::memory_order_release);
+#else
+  std::shared_ptr<const ServingSnapshot> doomed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    doomed = std::exchange(ptr_, std::move(p));
+  }
+  // The displaced reference (possibly the last one) drops outside the lock:
+  // its deleter re-enters the buffer pool.
+#endif
+}
+
+SnapshotManager::SnapshotManager(Graph g, SnapshotManagerOptions options)
+    : g_(std::move(g)),
+      options_(options),
+      rc_(CompressR(g_, options_.reach_options)),
+      pc_(CompressB(g_, options_.pattern_options)),
+      pool_(std::make_shared<BufferPool>()) {
+  Publish();  // version 1: Acquire() never returns null
+}
+
+ApplyStats SnapshotManager::Apply(const UpdateBatch& batch) {
+  ApplyStats stats;
+  const UpdateBatch effective = ApplyBatch(g_, batch);
+  stats.effective_updates = effective.size();
+  if (!effective.empty()) {
+    stats.rcm = IncRCM(g_, effective, rc_);
+    stats.pcm = IncPCM(g_, effective, pc_, options_.pattern_options.engine);
+    pending_rcm_.Accumulate(stats.rcm);
+    pending_pcm_.Accumulate(stats.pcm);
+    pending_updates_ += effective.size();
+  }
+  if (ShouldAutoPublish()) {
+    stats.published = true;
+    stats.publish = Publish();
+  }
+  return stats;
+}
+
+PublishStats SnapshotManager::Publish() {
+  PublishStats stats;
+  stats.version = ++version_;
+  stats.updates_included = pending_updates_;
+
+  // Freeze off the read path: readers keep running on the published
+  // snapshot while the inactive buffer fills.
+  Timer freeze_timer;
+  std::unique_ptr<ServingSnapshot> buf = pool_->Take();
+  stats.reused_buffer = buf != nullptr;
+  if (buf == nullptr) buf = std::make_unique<ServingSnapshot>();
+  buf->Freeze(version_, rc_, pc_);
+  stats.freeze_secs = freeze_timer.ElapsedSeconds();
+
+  // Wrap the buffer in a handle whose deleter hands it back to the pool
+  // when the last reader drops it. That final refcount drop synchronizes
+  // with the next Take(), so a later freeze's writes can never race a
+  // straggling reader's reads.
+  std::shared_ptr<BufferPool> pool = pool_;
+  ServingSnapshot* raw = buf.release();
+  std::shared_ptr<const ServingSnapshot> handle(
+      raw, [pool = std::move(pool)](const ServingSnapshot* p) {
+        pool->Return(
+            std::unique_ptr<ServingSnapshot>(const_cast<ServingSnapshot*>(p)));
+      });
+
+  // The swap itself: one O(1) pointer store, independent of graph size. The
+  // displaced snapshot retires whenever its last reader lets go.
+  Timer swap_timer;
+  current_.store(std::move(handle));
+  stats.swap_secs = swap_timer.ElapsedSeconds();
+
+  pending_updates_ = 0;
+  pending_rcm_ = {};
+  pending_pcm_ = {};
+  staleness_timer_.Restart();
+  return stats;
+}
+
+bool SnapshotManager::ShouldAutoPublish() const {
+  switch (options_.policy.mode) {
+    case PublishPolicy::Mode::kManual:
+      return false;
+    case PublishPolicy::Mode::kEveryNUpdates:
+      return pending_updates_ >= options_.policy.updates_per_publish;
+    case PublishPolicy::Mode::kStalenessBounded:
+      return pending_updates_ > 0 &&
+             staleness_timer_.ElapsedSeconds() >=
+                 options_.policy.max_staleness_secs;
+  }
+  QPGC_CHECK(false);
+  return false;
+}
+
+std::shared_ptr<const ServingSnapshot> SnapshotManager::Acquire() const {
+  return current_.load();
+}
+
+}  // namespace qpgc

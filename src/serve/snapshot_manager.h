@@ -1,0 +1,224 @@
+// Copyright 2026 The QPGC Authors.
+//
+// SnapshotManager: the serving side of the paper's incremental story. It
+// owns the mutable compressed state — the dynamic Graph source of truth plus
+// the maintained ReachCompression / PatternCompression artifacts — and
+// publishes immutable, versioned ServingSnapshots that readers query while
+// updates keep landing.
+//
+// Concurrency contract (single-writer / many-readers):
+//  * Exactly one writer thread calls Apply() / Publish(). Updates flow
+//    through the existing incremental algorithms (IncRCM Section 5.1,
+//    IncPCM Section 5.2), so per-batch maintenance cost stays a function of
+//    |AFF| and |Gr|, never |G|.
+//  * Any number of reader threads call Acquire() (or go through
+//    serve/query_service.h). A reader pins the current snapshot with a
+//    shared_ptr for the duration of a query and runs on it lock-free.
+//  * Publish() freezes the compressed state into an *inactive* buffer — off
+//    the read path, readers never observe a half-frozen snapshot — and then
+//    swaps it in with one O(1) atomic pointer store. Swap latency is
+//    independent of graph size by construction.
+//  * Retirement is reader-driven: a published snapshot's control block
+//    carries a deleter that returns the buffer to the manager's pool when
+//    the last reader drops it (double buffering in steady state: the pool
+//    holds the one retired buffer the next freeze reuses). The pool is
+//    shared-owned by every outstanding handle, so snapshots outliving the
+//    manager stay valid.
+//
+// Publish policies decouple *when* to publish from the update stream:
+// manual (caller decides), every-N-updates (amortize freeze cost over N
+// effective updates), and staleness-bounded (cap how long readers can lag
+// behind the source of truth). The accumulated dirty-cone stats of the
+// incremental layer since the last publish are exposed for callers that
+// want to build smarter policies on top.
+
+#ifndef QPGC_SERVE_SNAPSHOT_MANAGER_H_
+#define QPGC_SERVE_SNAPSHOT_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/pattern_scheme.h"
+#include "inc/inc_pcm.h"
+#include "inc/inc_rcm.h"
+#include "inc/update.h"
+#include "reach/compress_r.h"
+#include "serve/snapshot.h"
+#include "util/timer.h"
+
+// The published-snapshot slot prefers the C++20 atomic<shared_ptr>
+// specialization. Under ThreadSanitizer we force the mutex fallback:
+// libstdc++'s _Sp_atomic guards its pointer word with a lock bit TSan cannot
+// see through (GCC PR 101761), so the lock-free path reports false races.
+#if defined(__SANITIZE_THREAD__)
+#define QPGC_SERVE_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define QPGC_SERVE_TSAN 1
+#endif
+#endif
+#if !defined(QPGC_SERVE_TSAN) && defined(__cpp_lib_atomic_shared_ptr) && \
+    __cpp_lib_atomic_shared_ptr >= 201711L
+#define QPGC_SERVE_ATOMIC_SLOT 1
+#endif
+
+namespace qpgc {
+
+/// When the manager publishes a fresh snapshot on its own.
+struct PublishPolicy {
+  enum class Mode {
+    /// Only when the caller invokes Publish().
+    kManual,
+    /// After at least `updates_per_publish` effective updates accumulated.
+    kEveryNUpdates,
+    /// As soon as the published snapshot is both stale (>=
+    /// `max_staleness_secs` old) and behind (>= 1 pending update).
+    kStalenessBounded,
+  };
+
+  Mode mode = Mode::kManual;
+  size_t updates_per_publish = 1024;
+  double max_staleness_secs = 0.1;
+
+  static PublishPolicy Manual() { return {}; }
+  static PublishPolicy EveryNUpdates(size_t n) {
+    return {Mode::kEveryNUpdates, n, 0.0};
+  }
+  static PublishPolicy StalenessBounded(double secs) {
+    return {Mode::kStalenessBounded, 0, secs};
+  }
+};
+
+struct SnapshotManagerOptions {
+  PublishPolicy policy = PublishPolicy::Manual();
+  CompressROptions reach_options;
+  CompressBOptions pattern_options;
+};
+
+/// What one Publish() did.
+struct PublishStats {
+  /// Version id of the snapshot that went live.
+  uint64_t version = 0;
+  /// Effective updates included since the previous publish.
+  size_t updates_included = 0;
+  /// Wall time of the freeze into the inactive buffer (off the read path).
+  double freeze_secs = 0.0;
+  /// Wall time of the atomic pointer swap (what readers can ever contend
+  /// with; O(1) regardless of graph size).
+  double swap_secs = 0.0;
+  /// True when the freeze recycled a retired snapshot's buffers.
+  bool reused_buffer = false;
+};
+
+/// What one Apply() did.
+struct ApplyStats {
+  /// Updates surviving ApplyBatch's no-op elimination.
+  size_t effective_updates = 0;
+  /// Incremental-maintenance work counters for this batch.
+  IncRcmStats rcm;
+  IncPcmStats pcm;
+  /// Set when the publish policy fired within this Apply().
+  bool published = false;
+  PublishStats publish;
+};
+
+class SnapshotManager {
+ public:
+  /// Takes ownership of the initial graph, compresses it (batch compressR +
+  /// compressB), and publishes version 1 — Acquire() never returns null.
+  explicit SnapshotManager(Graph g, SnapshotManagerOptions options = {});
+
+  SnapshotManager(const SnapshotManager&) = delete;
+  SnapshotManager& operator=(const SnapshotManager&) = delete;
+
+  // --- Writer side (single thread) ------------------------------------------
+
+  /// Applies a batch to the source of truth and maintains both compressed
+  /// artifacts incrementally; publishes if the policy says so.
+  ApplyStats Apply(const UpdateBatch& batch);
+
+  /// Freezes the current compressed state into an inactive buffer and
+  /// atomically swaps it in as the new published snapshot.
+  PublishStats Publish();
+
+  /// The mutable source of truth (writer-side inspection).
+  const Graph& graph() const { return g_; }
+  /// The maintained artifacts the next Publish() will freeze.
+  const ReachCompression& reach_artifact() const { return rc_; }
+  const PatternCompression& pattern_artifact() const { return pc_; }
+
+  /// Version of the latest published snapshot.
+  uint64_t published_version() const { return version_; }
+  /// Effective updates applied since the last publish.
+  size_t pending_updates() const { return pending_updates_; }
+  /// Seconds since the last publish (the published snapshot's age).
+  double staleness_secs() const { return staleness_timer_.ElapsedSeconds(); }
+  /// Accumulated dirty-cone stats since the last publish (for policies).
+  const IncRcmStats& pending_rcm_stats() const { return pending_rcm_; }
+  const IncPcmStats& pending_pcm_stats() const { return pending_pcm_; }
+
+  // --- Read side (any thread) -----------------------------------------------
+
+  /// Pins and returns the current published snapshot. Never null. The
+  /// snapshot stays valid (and immutable) for as long as the returned
+  /// handle lives, across any number of later publishes.
+  std::shared_ptr<const ServingSnapshot> Acquire() const;
+
+ private:
+  // Recycled freeze buffers. Shared-owned by the manager and (through the
+  // handle deleters) by every outstanding snapshot, so a reader outliving
+  // the manager still has somewhere to return its buffer.
+  class BufferPool {
+   public:
+    /// Pops a retired buffer, or null when none is available.
+    std::unique_ptr<ServingSnapshot> Take();
+    /// Returns a buffer; keeps at most `kMaxSpares`, frees the rest.
+    void Return(std::unique_ptr<ServingSnapshot> buf);
+
+   private:
+    static constexpr size_t kMaxSpares = 2;
+    std::mutex mu_;
+    std::vector<std::unique_ptr<ServingSnapshot>> spares_;
+  };
+
+  // The published-snapshot slot. Uses the C++20 atomic<shared_ptr>
+  // specialization when the standard library has one; degrades to a
+  // mutex-guarded pointer otherwise. Either way the store is O(1) and the
+  // load is a pin (refcount bump), never a copy of snapshot data.
+  class Slot {
+   public:
+    std::shared_ptr<const ServingSnapshot> load() const;
+    void store(std::shared_ptr<const ServingSnapshot> p);
+
+   private:
+#ifdef QPGC_SERVE_ATOMIC_SLOT
+    std::atomic<std::shared_ptr<const ServingSnapshot>> ptr_;
+#else
+    mutable std::mutex mu_;
+    std::shared_ptr<const ServingSnapshot> ptr_;
+#endif
+  };
+
+  bool ShouldAutoPublish() const;
+
+  Graph g_;
+  SnapshotManagerOptions options_;
+  ReachCompression rc_;
+  PatternCompression pc_;
+
+  uint64_t version_ = 0;
+  size_t pending_updates_ = 0;
+  IncRcmStats pending_rcm_;
+  IncPcmStats pending_pcm_;
+  Timer staleness_timer_;
+
+  std::shared_ptr<BufferPool> pool_;
+  Slot current_;
+};
+
+}  // namespace qpgc
+
+#endif  // QPGC_SERVE_SNAPSHOT_MANAGER_H_

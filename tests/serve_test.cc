@@ -1,0 +1,450 @@
+// Copyright 2026 The QPGC Authors.
+//
+// The serving layer: ServingSnapshot correctness against the batch
+// artifacts, SnapshotManager version/retirement lifecycle and publish
+// policies, and the multi-threaded stress test (N readers, 1 writer) that
+// pins every query to a version and checks it against a recompute oracle
+// for exactly that version. The stress suites are what the CI TSan job
+// gates on (test names carry the "Serving"/"Snapshot" prefix the job's
+// ctest -R filter selects).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/uniform.h"
+#include "gen/update_gen.h"
+#include "pattern/pattern_gen.h"
+#include "serve/query_service.h"
+#include "serve/snapshot.h"
+#include "serve/snapshot_manager.h"
+#include "util/rng.h"
+
+namespace qpgc {
+namespace {
+
+Graph SmallLabeledGraph() {
+  Graph g = GenerateUniform(/*num_nodes=*/60, /*num_edges=*/140,
+                            /*num_labels=*/4, /*seed=*/11);
+  return g;
+}
+
+std::vector<PatternQuery> TestPatterns(const Graph& g, size_t count,
+                                       uint64_t seed) {
+  PatternGenOptions opts;
+  opts.num_nodes = 3;
+  opts.num_edges = 3;
+  opts.max_bound = 2;
+  std::vector<PatternQuery> patterns;
+  const std::vector<Label> labels = DistinctLabels(g);
+  for (size_t i = 0; i < count; ++i) {
+    patterns.push_back(RandomPattern(labels, opts, seed + i));
+  }
+  return patterns;
+}
+
+// ---------------------------------------------------------------------------
+// ServingSnapshot: frozen queries equal the unfrozen artifact paths and the
+// direct evaluation on the original graph.
+// ---------------------------------------------------------------------------
+
+TEST(ServingSnapshotTest, FreezeAnswersLikeArtifactsAndOriginal) {
+  const Graph g = SmallLabeledGraph();
+  const ReachCompression rc = CompressR(g);
+  const PatternCompression pc = CompressB(g);
+
+  ServingSnapshot snap;
+  snap.Freeze(7, rc, pc);
+  EXPECT_EQ(snap.version(), 7u);
+  EXPECT_EQ(snap.original_num_nodes(), g.num_nodes());
+  EXPECT_GT(snap.MemoryBytes(), 0u);
+
+  for (const ReachQuery& q : RandomReachQueries(g.num_nodes(), 200, 5)) {
+    for (const PathMode mode : {PathMode::kReflexive, PathMode::kNonEmpty}) {
+      const bool direct = BfsReaches(g, q.u, q.v, mode);
+      EXPECT_EQ(snap.Reach(q.u, q.v, mode), direct);
+      EXPECT_EQ(snap.Reach(q.u, q.v, mode, ReachAlgorithm::kBiBfs), direct);
+      EXPECT_EQ(AnswerOnCompressed(rc, q, mode, ReachAlgorithm::kBfs), direct);
+    }
+  }
+
+  for (const PatternQuery& q : TestPatterns(g, 6, 23)) {
+    const MatchResult direct = Match(g, q);
+    const MatchResult served = snap.Match(q);
+    EXPECT_EQ(served.matched, direct.matched);
+    EXPECT_EQ(served.match_sets, direct.match_sets);
+    EXPECT_EQ(snap.BooleanMatch(q), direct.matched);
+    EXPECT_EQ(MatchOnCompressed(pc, q).match_sets, direct.match_sets);
+  }
+}
+
+TEST(ServingSnapshotTest, RefreezeReusesBuffersAcrossVersions) {
+  const Graph g1 = SmallLabeledGraph();
+  Graph g2 = g1;
+  g2.AddEdge(0, 5);
+
+  ServingSnapshot snap;
+  snap.Freeze(1, CompressR(g1), CompressB(g1));
+  const bool before = snap.Reach(0, 5);
+  snap.Freeze(2, CompressR(g2), CompressB(g2));
+  EXPECT_EQ(snap.version(), 2u);
+  EXPECT_TRUE(snap.Reach(0, 5));
+  // And back: a refrozen buffer carries no residue of its previous version.
+  snap.Freeze(3, CompressR(g1), CompressB(g1));
+  EXPECT_EQ(snap.Reach(0, 5), before);
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotManager lifecycle.
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotManagerTest, ConstructionPublishesVersionOne) {
+  SnapshotManager mgr(SmallLabeledGraph());
+  const auto snap = mgr.Acquire();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->version(), 1u);
+  EXPECT_EQ(mgr.published_version(), 1u);
+  EXPECT_EQ(mgr.pending_updates(), 0u);
+}
+
+TEST(SnapshotManagerTest, PinnedSnapshotSurvivesLaterPublishes) {
+  const Graph initial = SmallLabeledGraph();
+  SnapshotManager mgr(initial);
+  const auto pinned = mgr.Acquire();
+
+  // Find a pair that flips when we add an edge.
+  NodeId u = 0, v = 0;
+  for (NodeId cand = 1; cand < initial.num_nodes(); ++cand) {
+    if (!BfsReaches(initial, 0, cand)) {
+      v = cand;
+      break;
+    }
+  }
+  ASSERT_NE(v, 0u) << "graph unexpectedly reaches everything from 0";
+
+  UpdateBatch batch;
+  batch.Insert(u, v);
+  const ApplyStats applied = mgr.Apply(batch);
+  EXPECT_EQ(applied.effective_updates, 1u);
+  EXPECT_FALSE(applied.published);  // manual policy
+  EXPECT_EQ(mgr.pending_updates(), 1u);
+
+  // Readers still see version 1 until the writer publishes.
+  EXPECT_EQ(mgr.Acquire()->version(), 1u);
+  EXPECT_FALSE(mgr.Acquire()->Reach(u, v, PathMode::kNonEmpty));
+
+  const PublishStats published = mgr.Publish();
+  EXPECT_EQ(published.version, 2u);
+  EXPECT_EQ(published.updates_included, 1u);
+  EXPECT_EQ(mgr.pending_updates(), 0u);
+
+  // New acquires see the new truth; the old pin is immutable history.
+  EXPECT_TRUE(mgr.Acquire()->Reach(u, v, PathMode::kNonEmpty));
+  EXPECT_EQ(pinned->version(), 1u);
+  EXPECT_FALSE(pinned->Reach(u, v, PathMode::kNonEmpty));
+}
+
+TEST(SnapshotManagerTest, RetiredBuffersAreReused) {
+  SnapshotManager mgr(SmallLabeledGraph());
+  // v1's buffer was freshly allocated at construction. Publishing v2
+  // displaces v1; with no readers pinning it, its buffer returns to the
+  // pool immediately, so v3's freeze reuses it.
+  const PublishStats v2 = mgr.Publish();
+  const PublishStats v3 = mgr.Publish();
+  EXPECT_FALSE(v2.reused_buffer);
+  EXPECT_TRUE(v3.reused_buffer);
+
+  // A pinned snapshot is not reusable until released.
+  const auto pinned = mgr.Acquire();  // pins v3
+  const PublishStats v4 = mgr.Publish();  // v3 still pinned; v2's buffer free
+  EXPECT_TRUE(v4.reused_buffer);
+  EXPECT_EQ(pinned->version(), 3u);
+}
+
+TEST(SnapshotManagerTest, SnapshotOutlivesManager) {
+  std::shared_ptr<const ServingSnapshot> snap;
+  Graph g = SmallLabeledGraph();
+  {
+    SnapshotManager mgr(g);
+    snap = mgr.Acquire();
+  }
+  // The manager is gone; the pinned snapshot (and its buffer pool) live on.
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->version(), 1u);
+  for (const ReachQuery& q : RandomReachQueries(g.num_nodes(), 50, 3)) {
+    EXPECT_EQ(snap->Reach(q.u, q.v), BfsReaches(g, q.u, q.v));
+  }
+}
+
+TEST(SnapshotManagerTest, ApplyMaintainsArtifactsExactly) {
+  Graph g = GenerateUniform(120, 300, 3, 29);
+  SnapshotManager mgr(g);
+  Rng rng(91);
+  for (int round = 0; round < 6; ++round) {
+    const UpdateBatch batch =
+        RandomMixed(mgr.graph(), 12, 0.6, 1000 + round);
+    mgr.Apply(batch);
+    mgr.Publish();
+    const auto snap = mgr.Acquire();
+    // The snapshot must answer exactly like direct evaluation on the
+    // post-update graph (writer-side mirror).
+    const Graph& truth = mgr.graph();
+    for (const ReachQuery& q :
+         RandomReachQueries(truth.num_nodes(), 60, 7 + round)) {
+      EXPECT_EQ(snap->Reach(q.u, q.v), BfsReaches(truth, q.u, q.v));
+    }
+    for (const PatternQuery& q : TestPatterns(truth, 3, 50 + round)) {
+      EXPECT_EQ(snap->Match(q).match_sets, Match(truth, q).match_sets);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Publish policies.
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotManagerTest, EveryNUpdatesPolicyAutoPublishes) {
+  SnapshotManagerOptions options;
+  options.policy = PublishPolicy::EveryNUpdates(4);
+  SnapshotManager mgr(SmallLabeledGraph(), options);
+
+  size_t applied = 0;
+  uint64_t publishes = 0;
+  Rng rng(5);
+  while (publishes < 3) {
+    const UpdateBatch batch = RandomMixed(mgr.graph(), 3, 0.5, 300 + applied);
+    const ApplyStats stats = mgr.Apply(batch);
+    ++applied;
+    if (stats.published) {
+      ++publishes;
+      EXPECT_GE(stats.publish.updates_included, 4u);
+      EXPECT_EQ(mgr.pending_updates(), 0u);
+    } else {
+      EXPECT_LT(mgr.pending_updates(), 4u);
+    }
+    ASSERT_LT(applied, 100u) << "policy never fired";
+  }
+  EXPECT_EQ(mgr.published_version(), 1u + publishes);
+}
+
+TEST(SnapshotManagerTest, StalenessBoundedPolicyPublishesWhenBehind) {
+  SnapshotManagerOptions options;
+  options.policy = PublishPolicy::StalenessBounded(0.0);  // always stale
+  SnapshotManager mgr(SmallLabeledGraph(), options);
+
+  // An ineffective batch leaves nothing pending: no publish.
+  UpdateBatch noop;
+  noop.Insert(0, 1);
+  noop.Delete(0, 1);
+  EXPECT_FALSE(mgr.Apply(noop).published);
+  EXPECT_EQ(mgr.published_version(), 1u);
+
+  // One effective update while stale: publish fires inside Apply.
+  const UpdateBatch batch = RandomInsertions(mgr.graph(), 1, 17);
+  const ApplyStats stats = mgr.Apply(batch);
+  EXPECT_TRUE(stats.published);
+  EXPECT_EQ(mgr.published_version(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// QueryService facade.
+// ---------------------------------------------------------------------------
+
+TEST(QueryServiceTest, RoutesAgainstCurrentSnapshot) {
+  SnapshotManager mgr(SmallLabeledGraph());
+  const QueryService service(mgr);
+
+  const auto snap = service.Pin();
+  EXPECT_EQ(snap->version(), 1u);
+  for (const ReachQuery& q :
+       RandomReachQueries(mgr.graph().num_nodes(), 40, 13)) {
+    EXPECT_EQ(service.Reach(q.u, q.v), snap->Reach(q.u, q.v));
+  }
+  for (const PatternQuery& q : TestPatterns(mgr.graph(), 2, 99)) {
+    EXPECT_EQ(service.BooleanMatch(q), snap->BooleanMatch(q));
+    EXPECT_EQ(service.Match(q).match_sets, snap->Match(q).match_sets);
+  }
+
+  // After a publish, the facade follows the slot; the old pin does not.
+  mgr.Apply(RandomInsertions(mgr.graph(), 2, 31));
+  mgr.Publish();
+  EXPECT_EQ(service.Pin()->version(), 2u);
+  EXPECT_EQ(snap->version(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-threaded stress: every concurrently-issued query must equal the
+// recompute oracle for the snapshot version it pinned.
+// ---------------------------------------------------------------------------
+
+struct Observation {
+  enum class Kind { kReach, kBooleanMatch, kMatch };
+  Kind kind = Kind::kReach;
+  uint64_t version = 0;
+  NodeId u = 0;
+  NodeId v = 0;
+  size_t pattern = 0;
+  bool answer = false;
+  std::vector<std::vector<NodeId>> match_sets;  // kMatch only
+};
+
+TEST(ServingStressTest, ConcurrentQueriesMatchOracleForPinnedVersion) {
+  constexpr size_t kReaders = 3;
+  constexpr size_t kVersions = 10;
+  constexpr size_t kBatchSize = 8;
+  constexpr size_t kMaxObservationsPerReader = 1500;
+
+  const Graph initial = GenerateUniform(200, 460, 4, 41);
+  const std::vector<PatternQuery> patterns = TestPatterns(initial, 4, 61);
+
+  SnapshotManager mgr(initial);
+  // Writer-side history: the exact graph every published version was
+  // compressed from. Written only by the writer thread, read only after
+  // join (join provides the happens-before edge).
+  std::unordered_map<uint64_t, Graph> version_graph;
+  version_graph.emplace(1, initial);
+
+  std::atomic<bool> done{false};
+  std::vector<std::vector<Observation>> observed(kReaders);
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(7000 + r);
+      auto& log = observed[r];
+      const size_t n = initial.num_nodes();
+      while (!done.load(std::memory_order_relaxed) &&
+             log.size() < kMaxObservationsPerReader) {
+        const auto snap = mgr.Acquire();
+        Observation ob;
+        ob.version = snap->version();
+        const uint64_t dice = rng.Uniform(16);
+        if (dice == 0) {
+          ob.kind = Observation::Kind::kMatch;
+          ob.pattern = rng.Uniform(patterns.size());
+          const MatchResult m = snap->Match(patterns[ob.pattern]);
+          ob.answer = m.matched;
+          ob.match_sets = m.match_sets;
+        } else if (dice <= 4) {
+          ob.kind = Observation::Kind::kBooleanMatch;
+          ob.pattern = rng.Uniform(patterns.size());
+          ob.answer = snap->BooleanMatch(patterns[ob.pattern]);
+        } else {
+          ob.kind = Observation::Kind::kReach;
+          ob.u = static_cast<NodeId>(rng.Uniform(n));
+          ob.v = static_cast<NodeId>(rng.Uniform(n));
+          ob.answer = snap->Reach(ob.u, ob.v);
+        }
+        log.push_back(std::move(ob));
+      }
+    });
+  }
+
+  // Single writer: apply a batch, publish, remember the version's graph.
+  for (size_t round = 2; round <= kVersions; ++round) {
+    const UpdateBatch batch =
+        RandomMixed(mgr.graph(), kBatchSize, 0.55, 9000 + round);
+    mgr.Apply(batch);
+    const PublishStats stats = mgr.Publish();
+    version_graph.emplace(stats.version, mgr.graph());
+    std::this_thread::yield();
+  }
+  done.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+
+  // Oracle pass: recompute every answer on the graph of the pinned version.
+  std::unordered_map<uint64_t, std::vector<MatchResult>> match_oracle;
+  size_t checked = 0;
+  for (const auto& log : observed) {
+    for (const Observation& ob : log) {
+      auto it = version_graph.find(ob.version);
+      ASSERT_NE(it, version_graph.end())
+          << "reader observed unknown version " << ob.version;
+      const Graph& truth = it->second;
+      switch (ob.kind) {
+        case Observation::Kind::kReach:
+          ASSERT_EQ(ob.answer, BfsReaches(truth, ob.u, ob.v))
+              << "version " << ob.version << " reach(" << ob.u << ", "
+              << ob.v << ")";
+          break;
+        case Observation::Kind::kBooleanMatch:
+        case Observation::Kind::kMatch: {
+          auto& cached = match_oracle[ob.version];
+          if (cached.empty()) {
+            cached.reserve(patterns.size());
+            for (const PatternQuery& p : patterns) {
+              cached.push_back(Match(truth, p));
+            }
+          }
+          const MatchResult& want = cached[ob.pattern];
+          ASSERT_EQ(ob.answer, want.matched)
+              << "version " << ob.version << " pattern " << ob.pattern;
+          if (ob.kind == Observation::Kind::kMatch) {
+            ASSERT_EQ(ob.match_sets, want.match_sets)
+                << "version " << ob.version << " pattern " << ob.pattern;
+          }
+          break;
+        }
+      }
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(ServingStressTest, VersionsAreMonotoneUnderAutoPublish) {
+  constexpr size_t kReaders = 2;
+  constexpr size_t kRounds = 30;
+
+  SnapshotManagerOptions options;
+  options.policy = PublishPolicy::EveryNUpdates(6);
+  SnapshotManager mgr(GenerateUniform(150, 340, 3, 53), options);
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> readers;
+  std::vector<uint64_t> max_seen(kReaders, 0);
+  // Per-reader flags, one byte each: vector<bool> would bit-pack the
+  // readers' concurrent writes into one shared byte (a data race).
+  std::vector<char> monotone(kReaders, 1);
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      uint64_t last = 0;
+      Rng rng(300 + r);
+      while (!done.load(std::memory_order_relaxed)) {
+        const auto snap = mgr.Acquire();
+        const uint64_t version = snap->version();
+        if (version < last) monotone[r] = 0;
+        last = version;
+        // Keep the snapshot busy so retirement overlaps publishes.
+        const NodeId u =
+            static_cast<NodeId>(rng.Uniform(snap->original_num_nodes()));
+        const NodeId v =
+            static_cast<NodeId>(rng.Uniform(snap->original_num_nodes()));
+        (void)snap->Reach(u, v);
+      }
+      max_seen[r] = last;
+    });
+  }
+
+  for (size_t round = 0; round < kRounds; ++round) {
+    mgr.Apply(RandomMixed(mgr.graph(), 4, 0.5, 5000 + round));
+  }
+  done.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+
+  EXPECT_GT(mgr.published_version(), 1u);
+  for (size_t r = 0; r < kReaders; ++r) {
+    EXPECT_TRUE(monotone[r]) << "reader " << r << " saw versions go backwards";
+    EXPECT_LE(max_seen[r], mgr.published_version());
+  }
+}
+
+}  // namespace
+}  // namespace qpgc

@@ -12,6 +12,13 @@ or containing "speedup" — wall-clock-derived ratios) are reported but never
 counted as regressions — wall clock on CI runners is too noisy; structural
 metrics (ratios, sizes, counts) are compared with the relative tolerance.
 
+Throughput metrics (keys ending in _qps or _per_sec, or containing
+"throughput") are higher-is-better and — being wall-clock-derived, so
+machine-specific like the _secs metrics — never gate: a move beyond
+tolerance is reported directionally as GAIN or SLOWER but not counted as
+drift. Structural metrics stay two-sided — a compression ratio moving
+either way is drift worth seeing.
+
 --subset-ok: metrics present in the baseline but absent from the new run
 are reported as SKIP instead of counted as drift. Use when the new run is
 a deliberately reduced config of the same bench (e.g. the CI small-depth
@@ -48,6 +55,12 @@ def load_metrics(path):
 
 def is_timing(key):
     return key.endswith("_secs") or "_secs." in key or "speedup" in key
+
+
+def is_throughput(key):
+    """Higher-is-better rate metrics (queries/sec, updates/sec, ...)."""
+    return (key.endswith("_qps") or key.endswith("_per_sec")
+            or "throughput" in key)
 
 
 def print_table(rows, header):
@@ -188,6 +201,12 @@ def main():
                 status = "timing"
             elif rel <= args.tolerance:
                 status = "ok"
+            elif is_throughput(key):
+                # Higher-is-better, wall-clock-derived: direction is worth
+                # showing (two-sided drift would flag a gain as regression),
+                # but a cross-machine qps delta must not gate, same as the
+                # _secs exemption.
+                status = "GAIN" if n > b else "SLOWER"
             else:
                 status = "DRIFT"
                 drifted += 1

@@ -10,6 +10,12 @@
 //   qpgc_tool query     <artifact> <u> <v>        QR(u, v) from the artifact
 //   qpgc_tool info      <artifact>                artifact summary
 //   qpgc_tool dataset   <name> <edges-out>        emit a catalog stand-in
+//   qpgc_tool serve-sim <edges> [labels]          serving simulation: reader
+//                       threads query versioned snapshots while a writer
+//                       applies random updates through the incremental layer
+//                       and publishes per policy (serve/snapshot_manager.h).
+//                       Flags: --readers=N --duration=SECS --batch-size=N
+//                       --publish-every=N | --staleness-ms=MS
 //
 // `compressb` accepts --bisim-engine=paige-tarjan|ranked|signature to pick
 // the maximum-bisimulation engine (default paige-tarjan).
@@ -19,21 +25,27 @@
 // graph/graph_view.h); `stats` reports the snapshot's memory next to the
 // dynamic representation's.
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bisim/engine.h"
 #include "core/pattern_scheme.h"
 #include "core/serialization.h"
 #include "gen/dataset_catalog.h"
+#include "gen/update_gen.h"
 #include "graph/csr.h"
 #include "graph/io.h"
 #include "graph/stats.h"
 #include "reach/compress_r.h"
 #include "reach/queries.h"
+#include "serve/load_gen.h"
+#include "serve/query_service.h"
+#include "serve/snapshot_manager.h"
 #include "util/memory.h"
 #include "util/timer.h"
 
@@ -51,7 +63,11 @@ int Usage() {
                "                      <edges> <labels> <artifact-out>\n"
                "  qpgc_tool query     <artifact> <u> <v>\n"
                "  qpgc_tool info      <artifact>\n"
-               "  qpgc_tool dataset   <name> <edges-out>\n");
+               "  qpgc_tool dataset   <name> <edges-out>\n"
+               "  qpgc_tool serve-sim <edges> [labels] [--readers=N] "
+               "[--duration=SECS]\n"
+               "                      [--batch-size=N] [--publish-every=N | "
+               "--staleness-ms=MS]\n");
   return 2;
 }
 
@@ -179,6 +195,151 @@ int CmdInfo(const char* artifact) {
   return 1;
 }
 
+// --- serve-sim -------------------------------------------------------------
+
+struct ServeSimOptions {
+  const char* edges = nullptr;
+  const char* labels = nullptr;
+  size_t readers = 2;
+  double duration_secs = 2.0;
+  size_t batch_size = 16;
+  // Policy: every-N unless a staleness bound is given.
+  size_t publish_every = 64;
+  double staleness_ms = -1.0;
+};
+
+bool ParseSizeFlag(const char* arg, const char* name, size_t* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  *out = static_cast<size_t>(std::strtoul(arg + len, nullptr, 10));
+  return true;
+}
+
+bool ParseDoubleFlag(const char* arg, const char* name, double* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  *out = std::strtod(arg + len, nullptr);
+  return true;
+}
+
+int CmdServeSim(const std::vector<const char*>& args) {
+  ServeSimOptions opts;
+  for (const char* arg : args) {
+    if (arg[0] == '-') {
+      if (ParseSizeFlag(arg, "--readers=", &opts.readers) ||
+          ParseSizeFlag(arg, "--batch-size=", &opts.batch_size) ||
+          ParseSizeFlag(arg, "--publish-every=", &opts.publish_every) ||
+          ParseDoubleFlag(arg, "--duration=", &opts.duration_secs) ||
+          ParseDoubleFlag(arg, "--staleness-ms=", &opts.staleness_ms)) {
+        continue;
+      }
+      std::fprintf(stderr, "serve-sim: unknown flag '%s'\n", arg);
+      return Usage();
+    }
+    if (opts.edges == nullptr) {
+      opts.edges = arg;
+    } else if (opts.labels == nullptr) {
+      opts.labels = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (opts.edges == nullptr || opts.readers == 0 || opts.batch_size == 0 ||
+      opts.publish_every == 0) {
+    return Usage();
+  }
+
+  auto loaded = LoadGraphArg(opts.edges, opts.labels);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  Graph g = std::move(loaded).value();
+  if (g.num_nodes() == 0) {
+    std::fprintf(stderr, "serve-sim: empty graph\n");
+    return 1;
+  }
+
+  SnapshotManagerOptions manager_options;
+  if (opts.staleness_ms >= 0) {
+    manager_options.policy =
+        PublishPolicy::StalenessBounded(opts.staleness_ms / 1e3);
+    std::printf("policy: staleness-bounded (%.1fms)\n", opts.staleness_ms);
+  } else {
+    manager_options.policy = PublishPolicy::EveryNUpdates(opts.publish_every);
+    std::printf("policy: every %zu effective updates\n", opts.publish_every);
+  }
+
+  std::printf("%s; building initial snapshot...\n", g.DebugString().c_str());
+  Timer build_timer;
+  SnapshotManager manager(std::move(g), manager_options);
+  const QueryService service(manager);
+  std::printf("version 1 live after %.1fms (snapshot %s)\n",
+              build_timer.ElapsedMillis(),
+              FormatBytes(manager.Acquire()->MemoryBytes()).c_str());
+
+  // Boolean-match load only runs on labeled graphs (ServeLoadPatterns
+  // returns an empty set otherwise); reach load always runs.
+  const std::vector<PatternQuery> patterns =
+      ServeLoadPatterns(manager.graph(), 4, 19);
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> reach_queries{0};
+  std::atomic<uint64_t> match_queries{0};
+  std::vector<std::thread> readers;
+  readers.reserve(opts.readers);
+  for (size_t r = 0; r < opts.readers; ++r) {
+    readers.emplace_back([&, r] {
+      const ReaderLoadCounters counters =
+          RunReaderLoad(service, patterns, 100 + r, done);
+      reach_queries.fetch_add(counters.reach_queries,
+                              std::memory_order_relaxed);
+      match_queries.fetch_add(counters.match_queries,
+                              std::memory_order_relaxed);
+    });
+  }
+
+  // Writer: this thread. Apply random mixed batches until the clock runs
+  // out; the policy decides when versions go live.
+  size_t updates = 0, batches = 0, publishes = 0;
+  double max_staleness = 0.0;
+  Timer window;
+  while (window.ElapsedSeconds() < opts.duration_secs) {
+    const UpdateBatch batch =
+        RandomMixed(manager.graph(), opts.batch_size, 0.55, 7000 + batches);
+    const ApplyStats stats = manager.Apply(batch);
+    ++batches;
+    updates += stats.effective_updates;
+    if (stats.published) ++publishes;
+    if (manager.staleness_secs() > max_staleness) {
+      max_staleness = manager.staleness_secs();
+    }
+  }
+  const double elapsed = window.ElapsedSeconds();
+  done.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+
+  const auto final_snap = manager.Acquire();
+  std::printf(
+      "\n--- %.2fs simulation ---\n"
+      "updates:   %zu effective in %zu batches (%.0f updates/s)\n"
+      "publishes: %zu during stream, final version %llu, max staleness "
+      "%.1fms\n"
+      "queries:   %llu reach (%.0f/s), %llu boolean-match (%.0f/s) across "
+      "%zu readers\n"
+      "snapshot:  %s, |Gr(reach)| = %zu, |Gr(pattern)| = %zu\n",
+      elapsed, updates, batches, static_cast<double>(updates) / elapsed,
+      publishes, static_cast<unsigned long long>(final_snap->version()),
+      max_staleness * 1e3,
+      static_cast<unsigned long long>(reach_queries.load()),
+      static_cast<double>(reach_queries.load()) / elapsed,
+      static_cast<unsigned long long>(match_queries.load()),
+      static_cast<double>(match_queries.load()) / elapsed, opts.readers,
+      FormatBytes(final_snap->MemoryBytes()).c_str(),
+      final_snap->reach_gr().size(), final_snap->pattern_gr().size());
+  return 0;
+}
+
 int CmdDataset(const char* name, const char* out) {
   const Graph g = MakeDataset(FindDataset(name));
   const Status s = SaveEdgeList(g, out);
@@ -236,6 +397,10 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(cmd, "dataset") == 0 && argn == 3) {
     return CmdDataset(args[1], args[2]);
+  }
+  if (std::strcmp(cmd, "serve-sim") == 0 && argn >= 2) {
+    return CmdServeSim(
+        std::vector<const char*>(args.begin() + 1, args.end()));
   }
   return Usage();
 }
