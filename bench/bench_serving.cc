@@ -66,7 +66,9 @@ void SwapLatencyExperiment() {
     SnapshotManager mgr(g);
     double freeze_total = 0.0, swap_total = 0.0;
     for (int i = 0; i < kPublishes; ++i) {
-      const PublishStats stats = mgr.Publish();
+      // kFull: with nothing pending, an auto publish would just share both
+      // sides — this experiment measures the full freeze.
+      const PublishStats stats = mgr.Publish(FreezeMode::kFull);
       freeze_total += stats.freeze_secs;
       swap_total += stats.swap_secs;
     }

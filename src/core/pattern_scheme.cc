@@ -28,34 +28,12 @@ MatchResult ExpandMatch(const PatternCompression& pc, const MatchResult& on_gr) 
 MatchResult ExpandMatch(const std::vector<std::vector<NodeId>>& members,
                         const std::vector<NodeId>& node_map,
                         const MatchResult& on_gr) {
-  MatchResult expanded;
-  expanded.matched = on_gr.matched;
-  // P is linear in the answer (Theorem 4): expand the answer sets only. The
-  // fixpoint sets stay at block granularity (they are an evaluation-internal
-  // artifact; copy them through for callers that want the raw fixpoint).
-  expanded.fixpoint_sets = on_gr.fixpoint_sets;
-  expanded.match_sets.resize(on_gr.match_sets.size());
-  // Member lists are disjoint sorted runs; a block-id mask plus one pass
-  // over the node map emits each answer set in ascending order without a
-  // comparison sort.
-  Bitset block_mask(members.size());
-  for (size_t u = 0; u < on_gr.match_sets.size(); ++u) {
-    size_t total = 0;
-    for (NodeId block : on_gr.match_sets[u]) {
-      QPGC_CHECK(block < members.size());
-      block_mask.Set(block);
-      total += members[block].size();
-    }
-    auto& out = expanded.match_sets[u];
-    out.reserve(total);
-    if (total > 0) {
-      for (NodeId v = 0; v < node_map.size(); ++v) {
-        if (block_mask.Test(node_map[v])) out.push_back(v);
-      }
-    }
-    for (NodeId block : on_gr.match_sets[u]) block_mask.Clear(block);
-  }
-  return expanded;
+  return ExpandMatchWith(
+      members.size(), node_map,
+      [&](NodeId block) -> const std::vector<NodeId>& {
+        return members[block];
+      },
+      on_gr);
 }
 
 MatchResult MatchOnCompressed(const PatternCompression& pc,

@@ -27,6 +27,7 @@
 #include "graph/graph_view.h"
 #include "pattern/match.h"
 #include "pattern/pattern.h"
+#include "util/bitset.h"
 
 namespace qpgc {
 
@@ -95,14 +96,55 @@ PatternCompression CompressB(const G& g, const CompressBOptions& options = {}) {
 PatternCompression CompressBFromPartition(const Graph& g, const Partition& p);
 PatternCompression CompressB(const Graph& g, const CompressBOptions& options = {});
 
-/// The post-processing function P: expands every block in a match over Gr
-/// into its member nodes. O(|Qp(G)|).
+/// The post-processing function P over any member representation: expands
+/// the block-level match `on_gr` through `members_of` (block id -> range of
+/// member node ids, used only for size pre-reservation) and `node_map`
+/// (node -> block; kInvalidNode marks nodes outside every expandable block
+/// — sharded serving's ghost nodes). Member lists are disjoint sorted runs,
+/// so one block-mask pass over the node map emits each answer set in
+/// ascending order without a comparison sort. O(|Qp(G)| + |V|) per call.
+/// This single implementation serves both the artifact-level overloads
+/// below (vector-of-vectors member index) and the frozen serving snapshot
+/// (flattened member index; serve/snapshot.cc).
+template <typename MembersFn>
+MatchResult ExpandMatchWith(size_t num_blocks,
+                            const std::vector<NodeId>& node_map,
+                            MembersFn&& members_of,
+                            const MatchResult& on_gr) {
+  MatchResult expanded;
+  expanded.matched = on_gr.matched;
+  // P expands the answer sets only; the fixpoint stays at block granularity
+  // (an evaluation-internal artifact, copied through for callers that want
+  // the raw fixpoint).
+  expanded.fixpoint_sets = on_gr.fixpoint_sets;
+  expanded.match_sets.resize(on_gr.match_sets.size());
+  Bitset block_mask(num_blocks);
+  for (size_t u = 0; u < on_gr.match_sets.size(); ++u) {
+    size_t total = 0;
+    for (const NodeId block : on_gr.match_sets[u]) {
+      QPGC_CHECK(block < num_blocks);
+      block_mask.Set(block);
+      total += members_of(block).size();
+    }
+    auto& out = expanded.match_sets[u];
+    out.reserve(total);
+    if (total > 0) {
+      for (NodeId v = 0; v < node_map.size(); ++v) {
+        if (node_map[v] != kInvalidNode && block_mask.Test(node_map[v])) {
+          out.push_back(v);
+        }
+      }
+    }
+    for (const NodeId block : on_gr.match_sets[u]) block_mask.Clear(block);
+  }
+  return expanded;
+}
+
+/// P from a batch compression artifact. O(|Qp(G)|).
 MatchResult ExpandMatch(const PatternCompression& pc, const MatchResult& on_gr);
 
 /// Same P from the raw quotient metadata (member index + node map) instead
-/// of a PatternCompression. This is the serving entry point: a frozen
-/// ServingSnapshot carries copies of exactly these two structures next to
-/// its CSR quotient and never materializes a PatternCompression.
+/// of a PatternCompression (used by the incremental layer and tests).
 MatchResult ExpandMatch(const std::vector<std::vector<NodeId>>& members,
                         const std::vector<NodeId>& node_map,
                         const MatchResult& on_gr);

@@ -32,6 +32,43 @@ void CsrGraph::Refreeze(const Graph& g) {
   in_offsets_[n] = in_targets_.size();
 }
 
+void CsrGraph::RefreezeMapped(
+    const Graph& g, const std::vector<NodeId>& remap, size_t new_n,
+    std::vector<std::pair<NodeId, NodeId>>* dropped_out_edges) {
+  QPGC_CHECK(remap.size() == g.num_nodes());
+  labels_.resize(new_n);
+  out_offsets_.resize(new_n + 1);
+  in_offsets_.resize(new_n + 1);
+  out_targets_.clear();
+  in_targets_.clear();
+  size_t kept = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const NodeId mu = remap[u];
+    if (mu == kInvalidNode) continue;
+    // Strictly increasing over kept nodes: mu must be exactly the next
+    // compact id, which is what keeps the offset arrays dense and the
+    // target runs sorted.
+    QPGC_CHECK(mu == kept);
+    ++kept;
+    labels_[mu] = g.label(u);
+    out_offsets_[mu] = out_targets_.size();
+    for (const NodeId v : g.OutNeighbors(u)) {
+      if (remap[v] != kInvalidNode) {
+        out_targets_.push_back(remap[v]);
+      } else if (dropped_out_edges != nullptr) {
+        dropped_out_edges->emplace_back(mu, v);
+      }
+    }
+    in_offsets_[mu] = in_targets_.size();
+    for (const NodeId v : g.InNeighbors(u)) {
+      if (remap[v] != kInvalidNode) in_targets_.push_back(remap[v]);
+    }
+  }
+  QPGC_CHECK(kept == new_n);
+  out_offsets_[new_n] = out_targets_.size();
+  in_offsets_[new_n] = in_targets_.size();
+}
+
 size_t CsrGraph::CountDistinctLabels() const {
   return qpgc::CountDistinctLabels(*this);
 }

@@ -42,6 +42,19 @@ class CsrGraph {
   /// CsrGraph(g)`.
   void Refreeze(const Graph& g);
 
+  /// Re-freezes this snapshot from the subgraph of g induced by the nodes
+  /// with remap[v] != kInvalidNode, renumbered through remap (which must be
+  /// strictly increasing over the kept nodes, so sorted adjacency stays
+  /// sorted) onto [0, new_n). Edges with a dropped endpoint are dropped;
+  /// when `dropped_out_edges` is non-null, every out-edge from a kept node
+  /// to a dropped one is appended to it as (new source id, ORIGINAL target
+  /// id) — collected in the same traversal so callers that need them (the
+  /// frozen pattern side's ghost-directed cross edges, serve/snapshot.h)
+  /// do not pay a second sweep. Reuses array capacity like Refreeze.
+  void RefreezeMapped(
+      const Graph& g, const std::vector<NodeId>& remap, size_t new_n,
+      std::vector<std::pair<NodeId, NodeId>>* dropped_out_edges = nullptr);
+
   size_t num_nodes() const { return out_offsets_.size() - 1; }
   size_t num_edges() const { return out_targets_.size(); }
   /// Graph size |G| = |V| + |E| (the paper's measure).

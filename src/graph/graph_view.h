@@ -12,11 +12,20 @@
 //     ~40% of the memory and far better sweep locality) that the batch
 //     entry points freeze once and run the whole pipeline on.
 //
-// Any type exposing the seven members below participates — future
-// substrates (mmap-backed snapshots, sharded views) slot in without
-// touching the algorithms. Adjacency runs are required to be sorted
-// ascending (both built-in representations guarantee it), which the
-// algorithms exploit for binary-search edge tests.
+// Any type exposing the seven members below participates — `Graph`,
+// `CsrGraph`, the shard-local `ShardView` (graph/shard_view.h), and the
+// zero-copy `ReversedView` adapter all do; future substrates (e.g. an
+// mmap-backed snapshot) slot in without touching the algorithms. Adjacency
+// runs are required to be sorted ascending (every built-in view guarantees
+// it), which the algorithms exploit for binary-search edge tests.
+//
+// Thread-safety contract: the concept is read-only — algorithms templated
+// over it never mutate the view, so any number of threads may run batch
+// algorithms over one view concurrently, PROVIDED no writer mutates the
+// underlying representation meanwhile. The serving layer gets this for
+// free by freezing immutable CsrGraph snapshots (serve/snapshot.h); running
+// directly on a mutable Graph concurrently with its single writer is a
+// race and is never done by the serving read path.
 
 #ifndef QPGC_GRAPH_GRAPH_VIEW_H_
 #define QPGC_GRAPH_GRAPH_VIEW_H_

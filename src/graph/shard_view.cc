@@ -1,0 +1,34 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "graph/shard_view.h"
+
+#include "util/hash.h"
+
+namespace qpgc {
+
+ShardPartition ShardPartition::Hash(size_t num_nodes, uint32_t k,
+                                    uint64_t seed) {
+  QPGC_CHECK(k >= 1);
+  ShardPartition part;
+  part.num_shards = k;
+  part.shard_of.resize(num_nodes);
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    part.shard_of[v] =
+        static_cast<uint32_t>(Mix64(HashCombine(seed, v)) % k);
+  }
+  return part;
+}
+
+ShardPartition ShardPartition::Contiguous(size_t num_nodes, uint32_t k) {
+  QPGC_CHECK(k >= 1);
+  ShardPartition part;
+  part.num_shards = k;
+  part.shard_of.resize(num_nodes);
+  const size_t span = (num_nodes + k - 1) / k;
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    part.shard_of[v] = static_cast<uint32_t>(span == 0 ? 0 : v / span);
+  }
+  return part;
+}
+
+}  // namespace qpgc

@@ -1,0 +1,212 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Sharding a labeled graph for partitioned compression and serving.
+//
+// The paper's compressions are query preserving *per graph*: running
+// compressR / compressB over each partition of a node-partitioned graph
+// yields per-shard artifacts that, with the right routing (serve/router.h),
+// answer the exact same queries as the whole-graph artifacts. The pieces:
+//
+//  * `ShardPartition` — an ownership map: every node id is owned by exactly
+//    one of `num_shards` shards (hash or contiguous assignment). Edge
+//    (u, v) belongs to shard_of(u): a shard owns all out-edges of its
+//    nodes, so a node's full out-neighborhood lives in exactly one shard
+//    (edge-cut partitioning by source).
+//  * Ghost nodes — shard s's local graph keeps the *full node universe*
+//    (local ids == global ids, so no id translation anywhere). Nodes s does
+//    not own are "ghosts": they carry no out-edges in s (their out-edges
+//    live in their home shard) but may be targets of s's cross-shard edges.
+//  * `GhostLabel(v)` — ghosts are labeled with a per-node synthetic label
+//    instead of their real one. This forces every ghost into a singleton
+//    block of the shard-local bisimulation: two owned nodes can only be
+//    locally bisimilar when their cross-shard successors are *identical
+//    nodes*, which makes the union of the per-shard partitions a genuine
+//    bisimulation on the whole graph. That is the invariant the router's
+//    stitched pattern quotient rests on (serve/router.h) — and it is
+//    label-change-free under edge updates, so the per-shard incremental
+//    layer (IncRCM/IncPCM) runs completely unmodified.
+//  * `ShardView` — a GraphView of one shard over any base view: zero-copy
+//    out-adjacency (owned nodes expose the base runs, ghosts expose
+//    nothing), a compacted in-adjacency built in one O(|E_s|) pass, and the
+//    ghost-label overlay. The whole batch pipeline (compressR, compressB,
+//    Match, SCC, ...) runs on a ShardView unmodified — this is the
+//    shard-local substrate the GraphView concept was designed to admit.
+//  * `MaterializeShard` — the same subgraph as a dynamic `Graph`, for the
+//    mutable per-shard source of truth the serving writer maintains.
+
+#ifndef QPGC_GRAPH_SHARD_VIEW_H_
+#define QPGC_GRAPH_SHARD_VIEW_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/builder.h"
+#include "graph/graph.h"
+#include "graph/graph_view.h"
+#include "util/common.h"
+
+namespace qpgc {
+
+/// Synthetic labels for ghost nodes live at and above this value. Real
+/// labels are small dense integers (util/common.h), so the upper half of the
+/// label space is free; kNoLabel (0xFFFFFFFF) stays reserved.
+inline constexpr Label kGhostLabelBase = Label{1} << 31;
+
+/// The synthetic label of node v when it appears as a ghost. Unique per
+/// node, never equal to any real label or to kNoLabel (checked at shard
+/// view/materialization time).
+inline Label GhostLabel(NodeId v) { return kGhostLabelBase + v; }
+
+/// True iff `l` is a ghost label. Real labels are small (< kGhostLabelBase)
+/// or kNoLabel, so ghostness is decidable from the label alone — which is
+/// how the frozen serving artifacts recognize ghost singleton blocks
+/// without consulting the partition.
+inline bool IsGhostLabel(Label l) {
+  return l >= kGhostLabelBase && l != kNoLabel;
+}
+
+/// True iff g can be sharded: every label is a real label (below the ghost
+/// range, or kNoLabel) and the node count leaves room for per-node ghost
+/// labels. Boundary-validating callers (the CLI) should reject graphs that
+/// fail this instead of relying on the QPGC_CHECKs inside the shard views.
+inline bool LabelsShardable(const Graph& g) {
+  if (g.num_nodes() >= kNoLabel - kGhostLabelBase) return false;
+  for (const Label l : g.labels()) {
+    if (IsGhostLabel(l)) return false;
+  }
+  return true;
+}
+
+/// An ownership map of nodes onto `num_shards` shards.
+///
+/// Immutable after construction; safe to share across reader and writer
+/// threads without synchronization. Edge updates never move a node between
+/// shards (the serving layer's node universe is fixed at build time).
+struct ShardPartition {
+  /// shard_of[v] = owner of node v.
+  std::vector<uint32_t> shard_of;
+  /// Number of shards K (>= 1).
+  uint32_t num_shards = 1;
+
+  size_t num_nodes() const { return shard_of.size(); }
+  bool Owns(uint32_t shard, NodeId v) const { return shard_of[v] == shard; }
+
+  /// All nodes owned by `shard`, ascending.
+  std::vector<NodeId> OwnedNodes(uint32_t shard) const {
+    std::vector<NodeId> owned;
+    for (NodeId v = 0; v < shard_of.size(); ++v) {
+      if (shard_of[v] == shard) owned.push_back(v);
+    }
+    return owned;
+  }
+
+  /// Hash partition: shard_of[v] = mix(v, seed) % k. The workhorse —
+  /// balances load with no structural knowledge (and, being structure-blind,
+  /// maximizes cross-shard edges; see docs/ARCHITECTURE.md for the
+  /// trade-off).
+  static ShardPartition Hash(size_t num_nodes, uint32_t k, uint64_t seed = 0);
+
+  /// Contiguous ranges of ceil(n / k) nodes. Generator families emit
+  /// locality-correlated ids, so this is the locality-friendly baseline.
+  static ShardPartition Contiguous(size_t num_nodes, uint32_t k);
+};
+
+/// Read-only GraphView of one shard of a base view (see file comment):
+/// nodes = the full universe, edges = base edges whose source is owned,
+/// labels = real for owned nodes / GhostLabel(v) for ghosts.
+///
+/// Out-adjacency is zero-copy (spans into the base view); in-adjacency is
+/// compacted into the view at construction (one O(|V| + |E_shard|) pass —
+/// a filtered subset of base in-runs cannot be exposed as a span). The view
+/// references the base view and the partition; both must outlive it.
+template <GraphView G>
+class ShardView {
+ public:
+  ShardView(const G& base, const ShardPartition& part, uint32_t shard)
+      : base_(&base), part_(&part), shard_(shard) {
+    QPGC_CHECK(shard < part.num_shards);
+    QPGC_CHECK(base.num_nodes() == part.num_nodes());
+    const size_t n = base.num_nodes();
+    // Ghost labels must stay clear of kNoLabel; real labels must stay below
+    // the ghost range.
+    QPGC_CHECK(n < kNoLabel - kGhostLabelBase);
+    // Count shard in-degrees, then fill CSR-style in one pass. Base out-runs
+    // are ascending in v for ascending u, so per-target runs stay sorted.
+    in_offsets_.assign(n + 1, 0);
+    size_t shard_edges = 0;
+    for (NodeId u = 0; u < n; ++u) {
+      if (part.shard_of[u] != shard) continue;
+      // Same precondition MaterializeShard enforces: real labels only.
+      QPGC_CHECK(!IsGhostLabel(base.label(u)));
+      shard_edges += base.OutDegree(u);
+      for (NodeId v : base.OutNeighbors(u)) ++in_offsets_[v + 1];
+    }
+    for (size_t v = 1; v <= n; ++v) in_offsets_[v] += in_offsets_[v - 1];
+    in_targets_.resize(shard_edges);
+    std::vector<uint64_t> cursor(in_offsets_.begin(), in_offsets_.end() - 1);
+    for (NodeId u = 0; u < n; ++u) {
+      if (part.shard_of[u] != shard) continue;
+      for (NodeId v : base.OutNeighbors(u)) in_targets_[cursor[v]++] = u;
+    }
+    num_edges_ = shard_edges;
+  }
+
+  size_t num_nodes() const { return base_->num_nodes(); }
+  size_t num_edges() const { return num_edges_; }
+
+  std::span<const NodeId> OutNeighbors(NodeId u) const {
+    if (part_->shard_of[u] != shard_) return {};
+    return base_->OutNeighbors(u);
+  }
+  std::span<const NodeId> InNeighbors(NodeId u) const {
+    return {in_targets_.data() + in_offsets_[u],
+            in_targets_.data() + in_offsets_[u + 1]};
+  }
+  size_t OutDegree(NodeId u) const {
+    return part_->shard_of[u] == shard_ ? base_->OutDegree(u) : 0;
+  }
+  size_t InDegree(NodeId u) const {
+    return in_offsets_[u + 1] - in_offsets_[u];
+  }
+  Label label(NodeId u) const {
+    return part_->shard_of[u] == shard_ ? base_->label(u) : GhostLabel(u);
+  }
+
+  uint32_t shard() const { return shard_; }
+  const ShardPartition& partition() const { return *part_; }
+
+ private:
+  const G* base_;
+  const ShardPartition* part_;
+  uint32_t shard_;
+  std::vector<uint64_t> in_offsets_;  // n + 1 entries
+  std::vector<NodeId> in_targets_;
+  size_t num_edges_ = 0;
+};
+
+static_assert(GraphView<ShardView<Graph>>);
+
+/// Materializes shard `shard` of `base` as a dynamic Graph (same node
+/// universe, owned-source edges, ghost-label overlay) — the mutable
+/// source-of-truth representation each per-shard serving writer maintains.
+template <GraphView G>
+Graph MaterializeShard(const G& base, const ShardPartition& part,
+                       uint32_t shard) {
+  QPGC_CHECK(base.num_nodes() == part.num_nodes());
+  QPGC_CHECK(base.num_nodes() < kNoLabel - kGhostLabelBase);
+  GraphBuilder builder(base.num_nodes());
+  for (NodeId v = 0; v < base.num_nodes(); ++v) {
+    const bool owned = part.shard_of[v] == shard;
+    QPGC_CHECK(!owned || !IsGhostLabel(base.label(v)));
+    builder.SetLabel(v, owned ? base.label(v) : GhostLabel(v));
+    if (owned) {
+      for (NodeId w : base.OutNeighbors(v)) builder.AddEdge(v, w);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace qpgc
+
+#endif  // QPGC_GRAPH_SHARD_VIEW_H_

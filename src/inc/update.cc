@@ -32,4 +32,14 @@ UpdateBatch ApplyBatch(Graph& g, const UpdateBatch& batch) {
   return effective;
 }
 
+std::vector<UpdateBatch> SplitBatchByShard(const UpdateBatch& batch,
+                                           const ShardPartition& part) {
+  std::vector<UpdateBatch> split(part.num_shards);
+  for (const EdgeUpdate& up : batch.updates) {
+    QPGC_CHECK(up.u < part.shard_of.size() && up.v < part.shard_of.size());
+    split[part.shard_of[up.u]].updates.push_back(up);
+  }
+  return split;
+}
+
 }  // namespace qpgc

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/shard_view.h"
 #include "util/common.h"
 
 namespace qpgc {
@@ -52,6 +53,15 @@ struct UpdateBatch {
 /// that cancel within the batch) are dropped. All incremental algorithms
 /// take the effective batch together with the post-update graph.
 UpdateBatch ApplyBatch(Graph& g, const UpdateBatch& batch);
+
+/// Routes a batch onto a node partition: update (u, v) belongs to the shard
+/// owning u, because that shard's local graph carries all out-edges of u
+/// (edge-cut by source; graph/shard_view.h). Returns one sub-batch per
+/// shard, each preserving the original update order — applying sub-batch s
+/// to shard s's local graph for every s reproduces exactly the global
+/// post-batch edge set, since per-shard edge sets are disjoint by source.
+std::vector<UpdateBatch> SplitBatchByShard(const UpdateBatch& batch,
+                                           const ShardPartition& part);
 
 }  // namespace qpgc
 

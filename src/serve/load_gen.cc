@@ -3,7 +3,6 @@
 #include "serve/load_gen.h"
 
 #include "pattern/pattern_gen.h"
-#include "util/rng.h"
 
 namespace qpgc {
 
@@ -23,26 +22,24 @@ std::vector<PatternQuery> ServeLoadPatterns(const Graph& g, size_t count,
   return patterns;
 }
 
-ReaderLoadCounters RunReaderLoad(const QueryService& service,
-                                 const std::vector<PatternQuery>& patterns,
-                                 uint64_t seed,
-                                 const std::atomic<bool>& stop) {
-  ReaderLoadCounters counters;
+UpdateBatch RandomShardLocalBatch(const Graph& shard_graph,
+                                  std::span<const NodeId> owned, size_t count,
+                                  double insert_fraction, uint64_t seed) {
+  UpdateBatch batch;
+  if (owned.empty()) return batch;
   Rng rng(seed);
-  while (!stop.load(std::memory_order_relaxed)) {
-    const auto snap = service.Pin();
-    const size_t n = snap->original_num_nodes();
-    for (int i = 0; i < 64; ++i) {
-      (void)snap->Reach(static_cast<NodeId>(rng.Uniform(n)),
-                        static_cast<NodeId>(rng.Uniform(n)));
-      ++counters.reach_queries;
-    }
-    if (!patterns.empty()) {
-      (void)snap->BooleanMatch(patterns[rng.Uniform(patterns.size())]);
-      ++counters.match_queries;
+  const size_t n = shard_graph.num_nodes();
+  for (size_t i = 0; i < count; ++i) {
+    const NodeId u = owned[rng.Uniform(owned.size())];
+    if (rng.UniformDouble() < insert_fraction) {
+      const NodeId v = static_cast<NodeId>(rng.Uniform(n));
+      if (u != v) batch.Insert(u, v);
+    } else {
+      const auto out = shard_graph.OutNeighbors(u);
+      if (!out.empty()) batch.Delete(u, out[rng.Uniform(out.size())]);
     }
   }
-  return counters;
+  return batch;
 }
 
 }  // namespace qpgc

@@ -1,19 +1,22 @@
 // Copyright 2026 The QPGC Authors.
 //
-// Shared reader-side load for the serving simulator (qpgc_tool serve-sim)
-// and bench_serving: one pattern-set builder and one pin-then-hammer query
-// loop, so the tool and the bench drive the exact same query mix and a
-// change to the workload (ratio, pattern shape) lands in both at once.
+// Shared reader/writer load for the serving simulators (qpgc_tool
+// serve-sim, bench_serving, bench_sharded) and the stress tests: one
+// pattern-set builder, one pin-then-hammer query loop, and one shard-local
+// update generator, so the tool and the benches drive the exact same
+// workload and a change to it lands everywhere at once.
 
 #ifndef QPGC_SERVE_LOAD_GEN_H_
 #define QPGC_SERVE_LOAD_GEN_H_
 
 #include <atomic>
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "inc/update.h"
 #include "pattern/pattern.h"
-#include "serve/query_service.h"
+#include "util/rng.h"
 
 namespace qpgc {
 
@@ -30,13 +33,46 @@ struct ReaderLoadCounters {
   uint64_t match_queries = 0;
 };
 
-/// The reader hammer loop: until `stop` is set, pin the current snapshot,
-/// issue 64 random reach queries, then one boolean match (when patterns are
-/// available). Deterministic in `seed` up to snapshot timing.
-ReaderLoadCounters RunReaderLoad(const QueryService& service,
+/// The reader hammer loop: until `stop` is set, pin the current snapshot
+/// (or sharded version vector), issue 64 random reach queries, then one
+/// boolean match (when patterns are available). Deterministic in `seed` up
+/// to snapshot timing. Works against any service whose Pin() returns a
+/// handle with original_num_nodes / Reach / BooleanMatch — QueryService
+/// (pins a ServingSnapshot) and ShardedQueryService (pins a PinnedShards)
+/// both qualify.
+template <typename Service>
+ReaderLoadCounters RunReaderLoad(const Service& service,
                                  const std::vector<PatternQuery>& patterns,
                                  uint64_t seed,
-                                 const std::atomic<bool>& stop);
+                                 const std::atomic<bool>& stop) {
+  ReaderLoadCounters counters;
+  Rng rng(seed);
+  while (!stop.load(std::memory_order_relaxed)) {
+    const auto snap = service.Pin();
+    const size_t n = snap->original_num_nodes();
+    for (int i = 0; i < 64; ++i) {
+      (void)snap->Reach(static_cast<NodeId>(rng.Uniform(n)),
+                        static_cast<NodeId>(rng.Uniform(n)));
+      ++counters.reach_queries;
+    }
+    if (!patterns.empty()) {
+      (void)snap->BooleanMatch(patterns[rng.Uniform(patterns.size())]);
+      ++counters.match_queries;
+    }
+  }
+  return counters;
+}
+
+/// A random shard-local batch for per-shard writer threads: `count` updates
+/// whose sources are drawn from `owned` (the shard's node set) and whose
+/// targets are uniform over the whole universe — inserts with probability
+/// `insert_fraction`, deletions of an existing out-edge of an owned source
+/// otherwise (skipped when the drawn source has none). Applying such
+/// batches through ShardedSnapshotManager::ApplyToShard keeps the edge-cut
+/// invariant (every update's source is owned) by construction.
+UpdateBatch RandomShardLocalBatch(const Graph& shard_graph,
+                                  std::span<const NodeId> owned, size_t count,
+                                  double insert_fraction, uint64_t seed);
 
 }  // namespace qpgc
 

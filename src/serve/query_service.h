@@ -6,8 +6,12 @@
 // publishing. Callers that issue several queries against the same version
 // should Pin() once and query the snapshot directly.
 //
-// Thread-safe: any number of threads may share one QueryService. The
-// referenced SnapshotManager must outlive it.
+// Thread-safety contract: any number of threads may share one QueryService
+// concurrently with the manager's single writer; every entry point is a
+// lock-free snapshot pin plus read-only evaluation. The referenced
+// SnapshotManager must outlive the service; pinned snapshots returned by
+// Pin() may outlive both (see serve/snapshot.h). The sharded counterpart
+// with the same surface is ShardedQueryService (serve/router.h).
 
 #ifndef QPGC_SERVE_QUERY_SERVICE_H_
 #define QPGC_SERVE_QUERY_SERVICE_H_
@@ -18,11 +22,15 @@
 
 namespace qpgc {
 
+/// Pin-per-query facade over one SnapshotManager (see file comment for the
+/// thread-safety and lifetime contracts).
 class QueryService {
  public:
   explicit QueryService(const SnapshotManager& manager) : manager_(manager) {}
 
-  /// Pins the current snapshot (for multi-query consistency).
+  /// Pins the current snapshot (for multi-query consistency). The snapshot
+  /// stays valid and immutable for as long as the handle lives, across any
+  /// number of later publishes.
   std::shared_ptr<const ServingSnapshot> Pin() const {
     return manager_.Acquire();
   }

@@ -1,0 +1,200 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "serve/router.h"
+
+#include <unordered_set>
+
+#include "core/pattern_scheme.h"
+#include "graph/builder.h"
+#include "util/common.h"
+
+namespace qpgc {
+
+StitchedPatternQuotient BuildStitchedPatternQuotient(
+    const ShardPartition& part,
+    const std::vector<std::shared_ptr<const ServingSnapshot>>& snaps) {
+  const uint32_t num_shards = part.num_shards;
+  QPGC_CHECK(snaps.size() == num_shards);
+
+  // Frozen pattern sides are already compact (owned blocks only, ghost
+  // blocks dropped; serve/snapshot.h), so stitched ids are just per-shard
+  // block ranges laid end to end.
+  std::vector<NodeId> base(num_shards + 1, 0);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    base[s + 1] =
+        base[s] + static_cast<NodeId>(snaps[s]->pattern_gr().num_nodes());
+  }
+  const size_t total = base[num_shards];
+
+  StitchedPatternQuotient st;
+  st.origin.resize(total);
+  GraphBuilder builder(total);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    const CsrGraph& gr = snaps[s]->pattern_gr();
+    for (NodeId c = 0; c < gr.num_nodes(); ++c) {
+      const NodeId id = base[s] + c;
+      st.origin[id] = {s, c};
+      builder.SetLabel(id, gr.label(c));
+      for (const NodeId t : gr.OutNeighbors(c)) {
+        builder.AddEdge(id, base[s] + t);
+      }
+    }
+    // Cross-shard quotient edges: redirect each ghost-directed edge to the
+    // ghost's block in its home shard (where the ghost is owned, so its
+    // pattern_map entry is valid). GraphBuilder dedupes redirects that
+    // collapse onto one home block.
+    for (const auto& [block, ghost] : snaps[s]->pattern_cross_edges()) {
+      const uint32_t home = part.shard_of[ghost];
+      const NodeId home_block = snaps[home]->pattern_map()[ghost];
+      QPGC_DCHECK(home_block != kInvalidNode);
+      builder.AddEdge(base[s] + block, base[home] + home_block);
+    }
+  }
+  const Graph stitched = builder.Build();
+  st.gr = CsrGraph(stitched);
+  // Global node map: every node is owned by exactly one shard, where its
+  // pattern_map entry is a compact (owned) block id.
+  st.node_map.resize(part.num_nodes());
+  for (NodeId v = 0; v < part.num_nodes(); ++v) {
+    const uint32_t s = part.shard_of[v];
+    const NodeId block = snaps[s]->pattern_map()[v];
+    QPGC_DCHECK(block != kInvalidNode);
+    st.node_map[v] = base[s] + block;
+  }
+  return st;
+}
+
+PinnedShards::PinnedShards(
+    std::shared_ptr<const ShardPartition> part,
+    std::vector<std::shared_ptr<const ServingSnapshot>> snaps)
+    : part_(std::move(part)), snaps_(std::move(snaps)) {
+  QPGC_CHECK(part_ != nullptr && snaps_.size() == part_->num_shards);
+  for (const auto& snap : snaps_) QPGC_CHECK(snap != nullptr);
+}
+
+std::vector<uint64_t> PinnedShards::versions() const {
+  std::vector<uint64_t> versions;
+  versions.reserve(snaps_.size());
+  for (const auto& snap : snaps_) versions.push_back(snap->version());
+  return versions;
+}
+
+bool PinnedShards::SameVersions(
+    const std::vector<std::shared_ptr<const ServingSnapshot>>& snaps) const {
+  if (snaps.size() != snaps_.size()) return false;
+  for (size_t s = 0; s < snaps.size(); ++s) {
+    if (snaps[s]->version() != snaps_[s]->version()) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Per-thread scratch for the boundary-crossing search: reused containers
+// keep the per-query allocation count at zero in steady state.
+struct RouteScratch {
+  std::vector<std::vector<NodeId>> pending;
+  std::unordered_set<NodeId> entered;
+  std::vector<char> reached;
+};
+
+thread_local RouteScratch t_route_scratch;
+
+}  // namespace
+
+bool PinnedShards::Reach(NodeId u, NodeId v, PathMode mode) const {
+  const ShardPartition& part = *part_;
+  QPGC_CHECK(u < part.num_nodes() && v < part.num_nodes());
+  // Single shard: no boundaries to cross, the local snapshot is the global
+  // answer (also keeps the K = 1 router at snapshot speed).
+  if (part.num_shards == 1) return snaps_[0]->Reach(u, v, mode);
+  if (mode == PathMode::kReflexive && u == v) return true;
+  // All remaining cases need a non-empty global path. BFS over entry nodes:
+  // nodes where a path (re-)enters the shard that owns them. Per wave, one
+  // multi-source sweep per touched shard resolves v and every boundary exit
+  // at once.
+  const uint32_t num_shards = part.num_shards;
+  RouteScratch& scratch = t_route_scratch;
+  if (scratch.pending.size() < num_shards) scratch.pending.resize(num_shards);
+  std::vector<std::vector<NodeId>>& pending = scratch.pending;
+  for (auto& p : pending) p.clear();
+  std::unordered_set<NodeId>& entered = scratch.entered;
+  entered.clear();
+  pending[part.shard_of[u]].push_back(u);
+  entered.insert(u);
+  std::vector<char>& reached = scratch.reached;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      if (pending[s].empty()) continue;
+      // Safe to sweep in place: an exit of shard s is owned elsewhere, so
+      // this wave never appends to pending[s] while processing it.
+      const std::vector<NodeId>& sources = pending[s];
+      const ServingSnapshot& snap = *snaps_[s];
+      const std::vector<NodeId>& exits = snap.boundary_exits();
+      const bool target_reached = snap.ResolveWave(sources, v, reached);
+      pending[s].clear();
+      if (target_reached) return true;  // some entry reaches v within s
+      for (size_t i = 0; i < exits.size(); ++i) {
+        if (!reached[i]) continue;
+        // An exit is owned by another shard by definition; continue there.
+        const NodeId exit = exits[i];
+        QPGC_DCHECK(part.shard_of[exit] != s);
+        if (entered.insert(exit).second) {
+          pending[part.shard_of[exit]].push_back(exit);
+          progress = true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+MatchResult PinnedShards::Match(const PatternQuery& q) const {
+  // Single shard: the local quotient is the global quotient.
+  if (part_->num_shards == 1) return snaps_[0]->Match(q);
+  // Match on the stitched quotient, then the shared expansion P over the
+  // stitched node map (ascending answer sets, fixpoint at stitched-block
+  // granularity — mirroring the single-manager behavior).
+  const StitchedPatternQuotient& st = stitched();
+  return ExpandMatchWith(
+      st.gr.num_nodes(), st.node_map,
+      [&](NodeId block) {
+        const auto& [s, c] = st.origin[block];
+        return snaps_[s]->pattern_block_members(c);
+      },
+      qpgc::Match(st.gr, q));
+}
+
+bool PinnedShards::BooleanMatch(const PatternQuery& q) const {
+  if (part_->num_shards == 1) return snaps_[0]->BooleanMatch(q);
+  return qpgc::BooleanMatch(stitched().gr, q);
+}
+
+const StitchedPatternQuotient& PinnedShards::stitched() const {
+  std::call_once(stitched_once_, [this] {
+    stitched_ = std::make_unique<const StitchedPatternQuotient>(
+        BuildStitchedPatternQuotient(*part_, snaps_));
+  });
+  return *stitched_;
+}
+
+std::shared_ptr<const PinnedShards> ShardedQueryService::Pin() const {
+  std::vector<std::shared_ptr<const ServingSnapshot>> snaps =
+      manager_.AcquireAll();
+  {
+    std::lock_guard<std::mutex> lock(pins_mu_);
+    if (pins_ != nullptr && pins_->SameVersions(snaps)) return pins_;
+  }
+  // Build the fresh pin outside the lock (the stitched quotient inside it
+  // stays lazy anyway); last writer wins on a rebuild race, and either
+  // result is a valid pin of its own version vector.
+  auto pins = std::make_shared<const PinnedShards>(manager_.partition_ptr(),
+                                                   std::move(snaps));
+  std::lock_guard<std::mutex> lock(pins_mu_);
+  pins_ = pins;
+  return pins;
+}
+
+}  // namespace qpgc

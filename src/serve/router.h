@@ -1,0 +1,165 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Query routing over sharded serving snapshots (serve/sharded_manager.h):
+// the read-path half of sharded serving. Answers are *exact* — bit-identical
+// to evaluating on the unsharded graph — for all three query classes:
+//
+//  * Reach(u, v): boundary-crossing search. Any global path decomposes into
+//    maximal within-shard segments stitched at ghost nodes (a segment's
+//    edges all live in the shard owning its sources; the segment ends where
+//    a non-owned target — a boundary exit — is reached). The router runs a
+//    BFS over such "entry" nodes: per wave it resolves, for every shard
+//    with pending entries, which of the shard's frozen boundary exits (and
+//    whether v itself) are reachable, with ONE multi-source sweep over that
+//    shard's reach quotient (ServingSnapshot::ReachManyNonEmpty). Newly
+//    reached exits become entries of their home shards. Exactness follows
+//    from each per-shard snapshot being query preserving for its subgraph
+//    (Theorem 2 per shard) plus the segment decomposition.
+//
+//  * Match / BooleanMatch(q): evaluated on the *stitched pattern quotient*.
+//    Ghost nodes carry per-node unique labels (graph/shard_view.h), so
+//    every ghost is a singleton block of its shard's local bisimulation and
+//    two owned nodes merge only when their cross-shard successors are
+//    identical nodes. The union of the per-shard partitions (restricted to
+//    owned nodes) is therefore a bisimulation on the WHOLE graph, and the
+//    graph obtained by taking all owned blocks and redirecting edges into
+//    ghost singletons to the ghost's home block is exactly the quotient of
+//    the global graph by that bisimulation. Quotients by any bisimulation —
+//    not just the maximum one — preserve bounded-simulation matches
+//    (Theorem 4's proof only uses stability), so Match on the stitched
+//    quotient, expanded through the per-shard member indexes, equals Match
+//    on the original graph. The stitched quotient is built lazily once per
+//    pinned version vector and cached.
+//
+// Consistency model: each query pins one snapshot per shard (a version
+// vector). Because shards own disjoint edge sets, ANY version vector is a
+// legitimate global state — the graph whose shard-s edges are at shard s's
+// version — so concurrent per-shard writers never produce a cut that
+// corresponds to no graph. Callers needing multi-query consistency hold one
+// PinnedShards across the queries.
+//
+// Thread-safety: ShardedQueryService and PinnedShards are safe for
+// concurrent use from any number of reader threads. The service must not
+// outlive its manager; a PinnedShards may (it owns shared handles to the
+// snapshots and the partition).
+
+#ifndef QPGC_SERVE_ROUTER_H_
+#define QPGC_SERVE_ROUTER_H_
+
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/shard_view.h"
+#include "pattern/match.h"
+#include "pattern/pattern.h"
+#include "serve/sharded_manager.h"
+#include "serve/snapshot.h"
+
+namespace qpgc {
+
+/// The cross-shard pattern quotient stitched from per-shard frozen
+/// bisimulation quotients (see file comment). Immutable once built.
+struct StitchedPatternQuotient {
+  /// The stitched quotient graph: one node per *owned* block across all
+  /// shards, edges redirected through ghost singletons to home blocks.
+  CsrGraph gr;
+  /// origin[b] = (shard, local block id) of stitched node b — the key into
+  /// that shard's member index for the expansion P.
+  std::vector<std::pair<uint32_t, NodeId>> origin;
+  /// node_map[v] = stitched block of original node v (via v's home shard) —
+  /// what lets the expansion P emit ascending answer sets with the shared
+  /// block-mask pass instead of a comparison sort.
+  std::vector<NodeId> node_map;
+};
+
+/// Builds the stitched quotient for one pinned snapshot vector. Exposed for
+/// tests; queries normally go through PinnedShards, which builds and caches
+/// it lazily.
+StitchedPatternQuotient BuildStitchedPatternQuotient(
+    const ShardPartition& part,
+    const std::vector<std::shared_ptr<const ServingSnapshot>>& snaps);
+
+/// A consistent pinned vector of per-shard snapshots with the query surface
+/// of a single ServingSnapshot. Create via ShardedQueryService::Pin() (or
+/// directly from AcquireAll() in tests). Non-copyable; share by shared_ptr.
+class PinnedShards {
+ public:
+  PinnedShards(std::shared_ptr<const ShardPartition> part,
+               std::vector<std::shared_ptr<const ServingSnapshot>> snaps);
+
+  PinnedShards(const PinnedShards&) = delete;
+  PinnedShards& operator=(const PinnedShards&) = delete;
+
+  /// |V| of the (global) original graph.
+  size_t original_num_nodes() const { return part_->num_nodes(); }
+  /// Per-shard snapshot versions, index = shard id.
+  std::vector<uint64_t> versions() const;
+  /// True iff this pin holds exactly the given snapshots (version check,
+  /// index-wise).
+  bool SameVersions(
+      const std::vector<std::shared_ptr<const ServingSnapshot>>& snaps) const;
+
+  /// Global QR(u, v) via boundary-crossing search (see file comment).
+  bool Reach(NodeId u, NodeId v, PathMode mode = PathMode::kReflexive) const;
+
+  /// Global maximum match of q: Match on the stitched quotient, expanded
+  /// through the per-shard member indexes, answer sets ascending.
+  MatchResult Match(const PatternQuery& q) const;
+
+  /// Global Boolean pattern query — stitched quotient, no expansion.
+  bool BooleanMatch(const PatternQuery& q) const;
+
+  /// Shard s's pinned snapshot / the partition (for direct shard-local
+  /// access and stats).
+  const ServingSnapshot& shard(uint32_t s) const { return *snaps_[s]; }
+  uint32_t num_shards() const { return part_->num_shards; }
+  const ShardPartition& partition() const { return *part_; }
+
+  /// The stitched pattern quotient for this version vector (built on first
+  /// use, then cached for the pin's lifetime; thread-safe).
+  const StitchedPatternQuotient& stitched() const;
+
+ private:
+  std::shared_ptr<const ShardPartition> part_;
+  std::vector<std::shared_ptr<const ServingSnapshot>> snaps_;
+  mutable std::once_flag stitched_once_;
+  mutable std::unique_ptr<const StitchedPatternQuotient> stitched_;
+};
+
+/// The sharded counterpart of QueryService: each call pins a version vector
+/// once and routes against it. Pin() results are cached per version vector,
+/// so the stitched quotient is rebuilt only when some shard published.
+class ShardedQueryService {
+ public:
+  explicit ShardedQueryService(const ShardedSnapshotManager& manager)
+      : manager_(manager) {}
+
+  /// Pins the current per-shard snapshots (for multi-query consistency).
+  /// Returns the cached pin when no shard has published since.
+  std::shared_ptr<const PinnedShards> Pin() const;
+
+  /// Global QR(u, v) against the current version vector.
+  bool Reach(NodeId u, NodeId v, PathMode mode = PathMode::kReflexive) const {
+    return Pin()->Reach(u, v, mode);
+  }
+
+  /// Global maximum match against the current version vector.
+  MatchResult Match(const PatternQuery& q) const { return Pin()->Match(q); }
+
+  /// Global Boolean pattern query against the current version vector.
+  bool BooleanMatch(const PatternQuery& q) const {
+    return Pin()->BooleanMatch(q);
+  }
+
+ private:
+  const ShardedSnapshotManager& manager_;
+  mutable std::mutex pins_mu_;
+  mutable std::shared_ptr<const PinnedShards> pins_;
+};
+
+}  // namespace qpgc
+
+#endif  // QPGC_SERVE_ROUTER_H_

@@ -1,0 +1,126 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "serve/sharded_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/common.h"
+
+namespace qpgc {
+
+std::shared_ptr<const std::vector<NodeId>>
+ShardedSnapshotManager::ExitTable::Current() {
+  if (dirty) {
+    auto exits = std::make_shared<std::vector<NodeId>>();
+    exits->reserve(refcount.size());
+    for (const auto& [v, count] : refcount) {
+      QPGC_DCHECK(count > 0);
+      exits->push_back(v);
+    }
+    std::sort(exits->begin(), exits->end());
+    published = std::move(exits);
+    dirty = false;
+  }
+  return published;
+}
+
+ShardedSnapshotManager::ShardedSnapshotManager(const Graph& g,
+                                               ShardedManagerOptions options) {
+  QPGC_CHECK(options.num_shards >= 1);
+  ShardPartition part =
+      options.contiguous_partition
+          ? ShardPartition::Contiguous(g.num_nodes(), options.num_shards)
+          : ShardPartition::Hash(g.num_nodes(), options.num_shards,
+                                 options.partition_seed);
+  part_ = std::make_shared<const ShardPartition>(std::move(part));
+
+  exits_.resize(num_shards());
+  shards_.resize(num_shards());
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    // Seed the exit table from the initial cross-shard edges; the provider
+    // bound below captures it, so even version 1 carries the right exits.
+    exits_[s] = std::make_unique<ExitTable>();
+    ExitTable& table = *exits_[s];
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (part_->shard_of[u] != s) continue;
+      for (const NodeId v : g.OutNeighbors(u)) {
+        if (part_->shard_of[v] != s) ++table.refcount[v];
+      }
+    }
+    SnapshotManagerOptions shard_options = options.shard_options;
+    shard_options.boundary_exits_provider = [&table] {
+      return table.Current();
+    };
+    shards_[s] = std::make_unique<SnapshotManager>(
+        MaterializeShard(g, *part_, s), std::move(shard_options));
+  }
+}
+
+ShardedApplyStats ShardedSnapshotManager::Apply(const UpdateBatch& batch) {
+  ShardedApplyStats stats;
+  const std::vector<UpdateBatch> split = SplitBatchByShard(batch, *part_);
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    if (split[s].empty()) continue;
+    ++stats.shards_touched;
+    const ApplyStats applied = ApplyToShard(s, split[s]);
+    stats.effective_updates += applied.effective_updates;
+    stats.publishes += applied.published ? 1 : 0;
+  }
+  return stats;
+}
+
+ApplyStats ShardedSnapshotManager::ApplyToShard(uint32_t shard,
+                                                const UpdateBatch& batch) {
+  QPGC_CHECK(shard < num_shards());
+  ExitTable& table = *exits_[shard];
+  const ShardPartition& part = *part_;
+  return shards_[shard]->Apply(batch, [&](const UpdateBatch& effective) {
+    for (const EdgeUpdate& up : effective.updates) {
+      QPGC_DCHECK(part.shard_of[up.u] == shard);
+      if (part.shard_of[up.v] == shard) continue;
+      if (up.is_insert) {
+        if (++table.refcount[up.v] == 1) table.dirty = true;
+      } else {
+        auto it = table.refcount.find(up.v);
+        QPGC_CHECK(it != table.refcount.end() && it->second > 0);
+        if (--it->second == 0) {
+          table.refcount.erase(it);
+          table.dirty = true;
+        }
+      }
+    }
+  });
+}
+
+PublishStats ShardedSnapshotManager::PublishShard(uint32_t shard,
+                                                  FreezeMode mode) {
+  QPGC_CHECK(shard < num_shards());
+  return shards_[shard]->Publish(mode);
+}
+
+std::vector<PublishStats> ShardedSnapshotManager::PublishAll(FreezeMode mode) {
+  std::vector<PublishStats> stats;
+  stats.reserve(num_shards());
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    stats.push_back(shards_[s]->Publish(mode));
+  }
+  return stats;
+}
+
+size_t ShardedSnapshotManager::BoundaryExitCount(uint32_t shard) const {
+  QPGC_CHECK(shard < num_shards());
+  return exits_[shard]->refcount.size();
+}
+
+std::vector<std::shared_ptr<const ServingSnapshot>>
+ShardedSnapshotManager::AcquireAll() const {
+  std::vector<std::shared_ptr<const ServingSnapshot>> snaps;
+  snaps.reserve(num_shards());
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    snaps.push_back(shards_[s]->Acquire());
+  }
+  return snaps;
+}
+
+}  // namespace qpgc

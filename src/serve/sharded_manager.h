@@ -1,0 +1,142 @@
+// Copyright 2026 The QPGC Authors.
+//
+// ShardedSnapshotManager: K independent single-writer serving pipelines
+// behind one facade. The input graph is node-partitioned (hash by default;
+// graph/shard_view.h), every shard materializes its local subgraph — owned
+// nodes with their full out-adjacency, plus ghost-labeled copies of the
+// rest of the node universe — and runs its *own* SnapshotManager: its own
+// dynamic source of truth, its own IncRCM/IncPCM maintenance, its own
+// versioned snapshot publishing. Nothing is shared between shards on the
+// write path, so K writer threads scale update throughput and publish work
+// K-ways, and each shard's publish freezes a quotient ~1/K the size of the
+// whole graph's.
+//
+// Cross-shard bookkeeping is limited to one structure per shard: the
+// boundary-exit refcount table — for each ghost node v, how many live edges
+// of this shard point at v. Its snapshot (the sorted set of ghosts with
+// refcount > 0) is frozen into every published ServingSnapshot via the
+// manager options' boundary_exits_provider, so the router's
+// boundary-crossing search always walks exits consistent with the pinned
+// version. Query routing and answer merging live in serve/router.h.
+//
+// Thread-safety contract:
+//  * Construction: single thread.
+//  * Writer side: at most one writer thread *per shard* may call
+//    ApplyToShard(shard, ...) / PublishShard(shard, ...); distinct shards
+//    are fully independent and may be driven concurrently. The convenience
+//    Apply()/PublishAll() drive every shard from the calling thread and
+//    therefore require exclusive write access to all shards.
+//  * Read side: AcquireAll() (and the router built on it) may be called
+//    from any number of threads concurrently with all writers. Each
+//    acquired snapshot is internally consistent; the vector is a cut of
+//    per-shard versions, which is a legitimate global state because shards
+//    own disjoint edge sets (any combination of per-shard states is the
+//    graph whose shard-s edges are at shard s's version).
+//  * Lifetime: the manager must outlive writer calls; acquired snapshots
+//    (and PinnedShards built from them) may outlive the manager.
+
+#ifndef QPGC_SERVE_SHARDED_MANAGER_H_
+#define QPGC_SERVE_SHARDED_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/shard_view.h"
+#include "serve/snapshot_manager.h"
+
+namespace qpgc {
+
+struct ShardedManagerOptions {
+  /// Number of shards K >= 1. K = 1 degenerates to a single SnapshotManager
+  /// with no ghosts and empty exit tables (the differential baseline).
+  uint32_t num_shards = 1;
+  /// Seed of the hash partition (ignored for contiguous partitioning).
+  uint64_t partition_seed = 0;
+  /// Use contiguous node ranges instead of hash assignment (locality-
+  /// friendly when node ids correlate with structure).
+  bool contiguous_partition = false;
+  /// Per-shard manager options (publish policy, compression engines). The
+  /// boundary_exits_provider field is overwritten per shard.
+  SnapshotManagerOptions shard_options;
+};
+
+/// What one routed Apply() did, summed over the touched shards.
+struct ShardedApplyStats {
+  size_t effective_updates = 0;
+  size_t shards_touched = 0;
+  /// Policy-triggered publishes that fired inside this Apply().
+  size_t publishes = 0;
+};
+
+class ShardedSnapshotManager {
+ public:
+  /// Partitions `g`, materializes the K shard subgraphs, compresses each,
+  /// and publishes version 1 on every shard.
+  explicit ShardedSnapshotManager(const Graph& g,
+                                  ShardedManagerOptions options = {});
+
+  ShardedSnapshotManager(const ShardedSnapshotManager&) = delete;
+  ShardedSnapshotManager& operator=(const ShardedSnapshotManager&) = delete;
+
+  // --- Writer side ----------------------------------------------------------
+
+  /// Routes a global batch to its shards (SplitBatchByShard) and applies
+  /// each sub-batch. Single global writer convenience; see the class
+  /// comment for the per-shard threading contract.
+  ShardedApplyStats Apply(const UpdateBatch& batch);
+
+  /// Applies a shard-local batch (every update's source owned by `shard`)
+  /// through that shard's SnapshotManager, maintaining the boundary-exit
+  /// table before any policy-triggered publish. This is the entry point for
+  /// per-shard writer threads.
+  ApplyStats ApplyToShard(uint32_t shard, const UpdateBatch& batch);
+
+  /// Publishes one shard / all shards.
+  PublishStats PublishShard(uint32_t shard,
+                            FreezeMode mode = FreezeMode::kAuto);
+  std::vector<PublishStats> PublishAll(FreezeMode mode = FreezeMode::kAuto);
+
+  /// Number of distinct ghost nodes this shard currently points at
+  /// (writer-side inspection of the exit table).
+  size_t BoundaryExitCount(uint32_t shard) const;
+
+  // --- Read side (any thread) -----------------------------------------------
+
+  /// Pins the current snapshot of every shard (never null entries). Index
+  /// i is shard i's snapshot. Prefer serve/router.h's ShardedQueryService,
+  /// which wraps the vector in a query facade.
+  std::vector<std::shared_ptr<const ServingSnapshot>> AcquireAll() const;
+
+  uint32_t num_shards() const { return part_->num_shards; }
+  const ShardPartition& partition() const { return *part_; }
+  /// Shared handle for routers/pins that may outlive the manager.
+  std::shared_ptr<const ShardPartition> partition_ptr() const { return part_; }
+
+  /// Per-shard manager access (writer-side; same threading contract as the
+  /// writer entry points above).
+  SnapshotManager& shard(uint32_t s) { return *shards_[s]; }
+  const SnapshotManager& shard(uint32_t s) const { return *shards_[s]; }
+
+ private:
+  // Live cross-shard edge counts into each ghost node. Written only by the
+  // owning shard's writer; published snapshots share an immutable sorted
+  // copy that is rebuilt only when the exit *membership* changed (refcount
+  // moves across zero) — refcount-only churn republishes the same vector.
+  struct ExitTable {
+    std::unordered_map<NodeId, uint32_t> refcount;
+    std::shared_ptr<const std::vector<NodeId>> published;
+    bool dirty = true;
+
+    std::shared_ptr<const std::vector<NodeId>> Current();
+  };
+
+  std::shared_ptr<const ShardPartition> part_;
+  std::vector<std::unique_ptr<ExitTable>> exits_;
+  std::vector<std::unique_ptr<SnapshotManager>> shards_;
+};
+
+}  // namespace qpgc
+
+#endif  // QPGC_SERVE_SHARDED_MANAGER_H_

@@ -2,47 +2,274 @@
 
 #include "serve/snapshot.h"
 
+#include <algorithm>
+#include <utility>
+
+#include "graph/shard_view.h"
 #include "util/memory.h"
 
 namespace qpgc {
 
+void FrozenReachSide::Fill(const ReachCompression& rc) {
+  // Copy-assignment reuses the destination buffers' capacity; Refreeze does
+  // the same for the CSR arrays. Steady-state publishing therefore recycles
+  // a retired side's allocations wholesale.
+  gr.Refreeze(rc.gr);
+  node_map = rc.node_map;
+}
+
+size_t FrozenReachSide::MemoryBytes() const {
+  return gr.MemoryBytes() + VectorBytes(node_map);
+}
+
+namespace {
+
+// Writer-side scratch for the ghost-dropping block permutation (one freeze
+// runs at a time per writer thread; distinct managers freeze on distinct
+// threads).
+thread_local std::vector<NodeId> t_block_perm;
+
+}  // namespace
+
+void FrozenPatternSide::Fill(const PatternCompression& pc) {
+  // Compact permutation: owned blocks keep their relative order and get
+  // dense ids; ghost singleton blocks (synthetic labels) are dropped.
+  const size_t num_blocks = pc.members.size();
+  std::vector<NodeId>& perm = t_block_perm;
+  perm.assign(num_blocks, kInvalidNode);
+  NodeId owned_blocks = 0;
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const Label label = pc.gr.label(static_cast<NodeId>(b));
+    if (!IsGhostLabel(label)) {
+      perm[b] = owned_blocks++;
+    } else {
+      // A block may only be dropped when it really is a ghost singleton
+      // (label == GhostLabel(its sole member)). A *user* label that strays
+      // into the ghost range would otherwise be dropped silently — fail
+      // loudly instead: serving requires real labels below kGhostLabelBase
+      // (graph/shard_view.h's LabelsShardable is the boundary check).
+      QPGC_CHECK(pc.members[b].size() == 1 &&
+                 label == GhostLabel(pc.members[b][0]));
+    }
+  }
+
+  if (owned_blocks == num_blocks) {
+    // No ghost blocks (every unsharded manager, and a K = 1 sharded one):
+    // the permutation is the identity, so skip the per-edge remap in favor
+    // of the bulk-copy freeze and plain map/member copies.
+    gr.Refreeze(pc.gr);
+    node_map = pc.node_map;
+    member_offsets.assign(num_blocks + 1, 0);
+    for (size_t c = 0; c < num_blocks; ++c) {
+      member_offsets[c + 1] = member_offsets[c] + pc.members[c].size();
+    }
+    member_flat.resize(member_offsets[num_blocks]);
+    for (size_t c = 0; c < num_blocks; ++c) {
+      std::copy(pc.members[c].begin(), pc.members[c].end(),
+                member_flat.begin() +
+                    static_cast<ptrdiff_t>(member_offsets[c]));
+    }
+    cross_edges.clear();
+    return;
+  }
+
+  // One traversal freezes the owned-block quotient and collects the
+  // ghost-directed edges; the dropped targets (ghost blocks) are then
+  // rewritten to the ghost's node id — its block's sole member.
+  cross_edges.clear();
+  gr.RefreezeMapped(pc.gr, perm, owned_blocks, &cross_edges);
+  for (auto& [block, target] : cross_edges) {
+    QPGC_DCHECK(pc.members[target].size() == 1);
+    target = pc.members[target][0];
+  }
+
+  // node_map through the permutation: ghosts -> kInvalidNode.
+  node_map.resize(pc.node_map.size());
+  for (size_t v = 0; v < pc.node_map.size(); ++v) {
+    node_map[v] = perm[pc.node_map[v]];
+  }
+
+  // Flatten the member index of the owned blocks: offsets by prefix sum,
+  // then one grouped pass — two bulk arrays regardless of the block count.
+  member_offsets.assign(owned_blocks + 1, 0);
+  for (size_t b = 0; b < num_blocks; ++b) {
+    if (perm[b] != kInvalidNode) {
+      member_offsets[perm[b] + 1] = pc.members[b].size();
+    }
+  }
+  for (size_t c = 0; c < owned_blocks; ++c) {
+    member_offsets[c + 1] += member_offsets[c];
+  }
+  member_flat.resize(member_offsets[owned_blocks]);
+  for (size_t b = 0; b < num_blocks; ++b) {
+    if (perm[b] == kInvalidNode) continue;
+    std::copy(pc.members[b].begin(), pc.members[b].end(),
+              member_flat.begin() +
+                  static_cast<ptrdiff_t>(member_offsets[perm[b]]));
+  }
+
+}
+
+size_t FrozenPatternSide::MemoryBytes() const {
+  return gr.MemoryBytes() + VectorBytes(node_map) +
+         VectorBytes(member_offsets) + VectorBytes(member_flat) +
+         VectorBytes(cross_edges);
+}
+
 void ServingSnapshot::Freeze(uint64_t version, const ReachCompression& rc,
                              const PatternCompression& pc) {
   version_ = version;
-  // Copy-assignment reuses the destination buffers' capacity; Refreeze does
-  // the same for the CSR arrays. Steady-state publishing therefore recycles
-  // a retired snapshot's allocations wholesale.
-  reach_gr_.Refreeze(rc.gr);
-  reach_map_ = rc.node_map;
-  pattern_gr_.Refreeze(pc.gr);
-  pattern_map_ = pc.node_map;
-  members_ = pc.members;
+  // Fresh sides every time: this standalone path never mutates state that
+  // another snapshot could share. Pooled buffer recycling is the manager's
+  // publish path (Fill into pooled side buffers, then Adopt).
+  auto reach = std::make_shared<FrozenReachSide>();
+  reach->Fill(rc);
+  reach_ = std::move(reach);
+  auto pattern = std::make_shared<FrozenPatternSide>();
+  pattern->Fill(pc);
+  pattern_ = std::move(pattern);
+  boundary_exits_.reset();
+}
+
+void ServingSnapshot::Adopt(
+    uint64_t version, std::shared_ptr<const FrozenReachSide> reach,
+    std::shared_ptr<const FrozenPatternSide> pattern,
+    std::shared_ptr<const std::vector<NodeId>> boundary_exits) {
+  QPGC_CHECK(reach != nullptr && pattern != nullptr);
+  version_ = version;
+  reach_ = std::move(reach);
+  pattern_ = std::move(pattern);
+  boundary_exits_ = std::move(boundary_exits);
+}
+
+void ServingSnapshot::Reset() {
+  version_ = 0;
+  reach_.reset();
+  pattern_.reset();
+  boundary_exits_.reset();
+}
+
+const std::vector<NodeId>& ServingSnapshot::boundary_exits() const {
+  static const std::vector<NodeId> kEmpty;
+  return boundary_exits_ == nullptr ? kEmpty : *boundary_exits_;
 }
 
 bool ServingSnapshot::Reach(NodeId u, NodeId v, PathMode mode,
                             ReachAlgorithm algo) const {
-  QPGC_CHECK(u < reach_map_.size() && v < reach_map_.size());
+  QPGC_CHECK(reach_ != nullptr);
+  const std::vector<NodeId>& map = reach_->node_map;
+  QPGC_CHECK(u < map.size() && v < map.size());
   if (mode == PathMode::kReflexive && u == v) return true;
   // All remaining cases reduce to non-empty reachability on Gr: distinct
   // classes are connected iff any pair of their members is; equal classes
   // answer the diagonal through their self-loop (reach/queries.cc keeps the
   // same reduction for the unfrozen artifact).
-  return EvalReach(reach_gr_, reach_map_[u], reach_map_[v],
-                   PathMode::kNonEmpty, algo);
+  return EvalReach(reach_->gr, map[u], map[v], PathMode::kNonEmpty, algo);
+}
+
+namespace {
+
+// Per-thread BFS scratch for ReachManyNonEmpty: an epoch-stamped visited
+// array avoids both per-call allocation and per-call clearing.
+struct ReachScratch {
+  std::vector<uint32_t> stamp;
+  std::vector<NodeId> queue;
+  uint32_t epoch = 0;
+};
+
+thread_local ReachScratch t_reach_scratch;
+
+// The multi-source non-empty-path BFS over a frozen quotient shared by
+// ReachManyNonEmpty and ResolveWave: stamps every quotient node reachable
+// from the mapped sources by a path of length >= 1 with a fresh epoch
+// (a source class itself counts as reached only when some edge — its
+// self-loop for a cyclic class, or a longer cycle — comes back) and
+// returns that epoch for the caller's probes.
+uint32_t MultiSourceSweep(const CsrGraph& gr, const std::vector<NodeId>& map,
+                          std::span<const NodeId> sources) {
+  ReachScratch& scratch = t_reach_scratch;
+  if (scratch.stamp.size() < gr.num_nodes() || scratch.epoch == UINT32_MAX) {
+    scratch.stamp.assign(gr.num_nodes(), 0);
+    scratch.epoch = 0;
+  }
+  const uint32_t epoch = ++scratch.epoch;
+  std::vector<uint32_t>& stamp = scratch.stamp;
+  std::vector<NodeId>& queue = scratch.queue;
+  queue.clear();
+  for (const NodeId s : sources) {
+    QPGC_DCHECK(s < map.size());
+    for (const NodeId w : gr.OutNeighbors(map[s])) {
+      if (stamp[w] != epoch) {
+        stamp[w] = epoch;
+        queue.push_back(w);
+      }
+    }
+  }
+  for (size_t head = 0; head < queue.size(); ++head) {
+    for (const NodeId w : gr.OutNeighbors(queue[head])) {
+      if (stamp[w] != epoch) {
+        stamp[w] = epoch;
+        queue.push_back(w);
+      }
+    }
+  }
+  return epoch;
+}
+
+}  // namespace
+
+void ServingSnapshot::ReachManyNonEmpty(std::span<const NodeId> sources,
+                                        std::span<const NodeId> targets,
+                                        std::vector<char>& reached) const {
+  QPGC_CHECK(reach_ != nullptr);
+  reached.assign(targets.size(), 0);
+  if (sources.empty() || targets.empty()) return;
+  const std::vector<NodeId>& map = reach_->node_map;
+  const uint32_t epoch = MultiSourceSweep(reach_->gr, map, sources);
+  const std::vector<uint32_t>& stamp = t_reach_scratch.stamp;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    QPGC_DCHECK(targets[i] < map.size());
+    reached[i] = stamp[map[targets[i]]] == epoch ? 1 : 0;
+  }
+}
+
+bool ServingSnapshot::ResolveWave(std::span<const NodeId> sources,
+                                  NodeId target,
+                                  std::vector<char>& exit_reached) const {
+  QPGC_CHECK(reach_ != nullptr);
+  const std::vector<NodeId>& exits = boundary_exits();
+  exit_reached.assign(exits.size(), 0);
+  if (sources.empty()) return false;
+  const std::vector<NodeId>& map = reach_->node_map;
+  const uint32_t epoch = MultiSourceSweep(reach_->gr, map, sources);
+  const std::vector<uint32_t>& stamp = t_reach_scratch.stamp;
+  for (size_t i = 0; i < exits.size(); ++i) {
+    exit_reached[i] = stamp[map[exits[i]]] == epoch ? 1 : 0;
+  }
+  QPGC_DCHECK(target < map.size());
+  return stamp[map[target]] == epoch;
 }
 
 MatchResult ServingSnapshot::Match(const PatternQuery& q) const {
-  return ExpandMatch(members_, pattern_map_, qpgc::Match(pattern_gr_, q));
+  QPGC_CHECK(pattern_ != nullptr);
+  // F = identity, Match on the frozen quotient, then the shared expansion P
+  // over the flattened member index (ghost nodes map to kInvalidNode and
+  // are skipped).
+  return ExpandMatchWith(
+      pattern_->member_offsets.size() - 1, pattern_->node_map,
+      [this](NodeId block) { return pattern_->block_members(block); },
+      qpgc::Match(pattern_->gr, q));
 }
 
 bool ServingSnapshot::BooleanMatch(const PatternQuery& q) const {
-  return qpgc::BooleanMatch(pattern_gr_, q);
+  QPGC_CHECK(pattern_ != nullptr);
+  return qpgc::BooleanMatch(pattern_->gr, q);
 }
 
 size_t ServingSnapshot::MemoryBytes() const {
-  return reach_gr_.MemoryBytes() + VectorBytes(reach_map_) +
-         pattern_gr_.MemoryBytes() + VectorBytes(pattern_map_) +
-         NestedVectorBytes(members_);
+  return (reach_ == nullptr ? 0 : reach_->MemoryBytes()) +
+         (pattern_ == nullptr ? 0 : pattern_->MemoryBytes()) +
+         VectorBytes(boundary_exits());
 }
 
 }  // namespace qpgc

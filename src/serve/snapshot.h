@@ -7,17 +7,39 @@
 // bisimulation quotient plus node map and member index (Section 4: F is the
 // identity, P expands blocks) — under a single version id.
 //
-// Once published (serve/snapshot_manager.h), a snapshot is never mutated
-// again: readers pin it with a shared_ptr for the duration of a query and
-// run on it lock-free while the writer keeps compressing new versions.
-// Freeze() is the writer-side fill; it reuses the buffers of a retired
-// snapshot (CsrGraph::Refreeze + vector assign), so steady-state publishing
-// allocates ~nothing.
+// A snapshot is a thin shell over two independently shareable *sides*
+// (FrozenReachSide / FrozenPatternSide). Consecutive versions that only
+// moved one artifact share the untouched side's frozen arrays by pointer:
+// a reach-only update stream refreezes the reach side per publish while
+// every version keeps pointing at the same frozen pattern side (and vice
+// versa). Sharing is transparent to readers — the shell is immutable either
+// way — and is what makes per-artifact publish cost track which dirty cone
+// actually moved (serve/snapshot_manager.h decides, from the accumulated
+// per-side incremental stats).
+//
+// Sharded serving additionally stamps each per-shard snapshot with its
+// *boundary-exit table*: the ghost nodes (non-owned nodes, see
+// graph/shard_view.h) that have in-edges inside this shard, i.e. the nodes
+// where a path can leave the shard. The router's boundary-crossing search
+// (serve/router.h) walks these; freezing them into the snapshot keeps the
+// exit set consistent with the frozen graph version by construction.
+//
+// Thread-safety contract:
+//  * Writer side (Freeze / Adopt / Reset): exactly one thread, and only on
+//    a snapshot no reader can observe (the manager freezes into inactive
+//    buffers; see serve/snapshot_manager.h).
+//  * Read side (everything const): any number of threads, lock-free — all
+//    state is immutable once published. Readers pin a snapshot with a
+//    shared_ptr for the duration of a query; the snapshot (and its shared
+//    sides) stay valid for as long as any handle lives, across any number
+//    of later publishes and even past the owning manager's destruction.
 
 #ifndef QPGC_SERVE_SNAPSHOT_H_
 #define QPGC_SERVE_SNAPSHOT_H_
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "core/pattern_scheme.h"
@@ -29,31 +51,122 @@
 
 namespace qpgc {
 
+/// The frozen reachability artifact: CSR quotient Gr plus the node map
+/// R(v). Fill() reuses the destination arrays' capacity (CsrGraph::Refreeze
+/// + vector assign), so steady-state refreezing allocates ~nothing.
+struct FrozenReachSide {
+  CsrGraph gr;
+  std::vector<NodeId> node_map;
+
+  /// Writer-side fill from the maintained artifact.
+  void Fill(const ReachCompression& rc);
+  /// Heap bytes held by this side.
+  size_t MemoryBytes() const;
+};
+
+/// The frozen pattern artifact, in *compact* form: ghost singleton blocks
+/// (sharded serving's non-owned nodes, recognizable by their synthetic
+/// labels — graph/shard_view.h) are dropped at freeze time, because they
+/// are fully determined by their sole member: no out-edges, a label no
+/// pattern can carry. What remains is
+///  * `gr` — the CSR quotient restricted to the owned blocks, renumbered
+///    densely (for an unsharded manager this is the whole quotient),
+///  * `node_map` — original node -> compact block; ghost nodes map to
+///    kInvalidNode,
+///  * the member index, flattened CSR-style (offsets + one contiguous id
+///    array — freezing it is two bulk copies instead of one small copy per
+///    block),
+///  * `cross_edges` — the quotient edges that pointed into ghost blocks,
+///    as (compact owned block, ghost node id) pairs; the router's stitched
+///    quotient resolves them to the ghost's home-shard block.
+/// Dropping the ghosts is what keeps per-shard freeze cost proportional to
+/// the shard's own compressed size instead of the global node count.
+/// Precondition (checked loudly in Fill): every label in the ghost range
+/// must be a genuine per-node ghost label — i.e. served graphs carry real
+/// labels below kGhostLabelBase (graph/shard_view.h's LabelsShardable).
+struct FrozenPatternSide {
+  CsrGraph gr;
+  std::vector<NodeId> node_map;
+  std::vector<uint64_t> member_offsets;  // num owned blocks + 1 entries
+  std::vector<NodeId> member_flat;       // owned nodes, grouped by block
+  std::vector<std::pair<NodeId, NodeId>> cross_edges;
+
+  /// Members of compact block c, ascending.
+  std::span<const NodeId> block_members(NodeId c) const {
+    return {member_flat.data() + member_offsets[c],
+            member_flat.data() + member_offsets[c + 1]};
+  }
+
+  /// Writer-side fill from the maintained artifact.
+  void Fill(const PatternCompression& pc);
+  /// Heap bytes held by this side.
+  size_t MemoryBytes() const;
+};
+
 /// An immutable, versioned pair of frozen compressed graphs plus the
-/// quotient metadata needed to answer rewritten queries.
+/// quotient metadata needed to answer rewritten queries (see file comment
+/// for the sharing and thread-safety contracts).
 class ServingSnapshot {
  public:
-  /// An empty snapshot (version 0, no nodes); a buffer to Freeze() into.
+  /// An empty snapshot (version 0, no sides); a buffer to Freeze() into.
   ServingSnapshot() = default;
 
   // --- Writer side ----------------------------------------------------------
 
-  /// Fills this snapshot from the mutable compressed state, reusing the
-  /// existing arrays' capacity. Must not be called on a published snapshot
-  /// (the manager only freezes into buffers no reader can observe).
+  /// Fills this snapshot from the mutable compressed state into freshly
+  /// allocated sides (the standalone convenience path; the manager's
+  /// publish path recycles pooled side buffers via Fill + Adopt instead).
+  /// Must not be called on a published snapshot.
   void Freeze(uint64_t version, const ReachCompression& rc,
               const PatternCompression& pc);
+
+  /// Assembles this snapshot from externally frozen (possibly shared)
+  /// sides. This is the manager's publish path: sides the update stream
+  /// left untouched are passed through from the previous version.
+  /// `boundary_exits` must be sorted ascending (null or empty for
+  /// unsharded serving); it is shared by pointer — consecutive versions
+  /// whose exit membership did not change reuse one immutable vector.
+  void Adopt(uint64_t version, std::shared_ptr<const FrozenReachSide> reach,
+             std::shared_ptr<const FrozenPatternSide> pattern,
+             std::shared_ptr<const std::vector<NodeId>> boundary_exits);
+
+  /// Drops this snapshot's side references (releasing any sharing) and
+  /// resets it to the empty state. Called when a retired shell returns to
+  /// the manager's buffer pool, so a pooled shell never prolongs a side's
+  /// lifetime.
+  void Reset();
 
   // --- Read side (thread-safe: touches only immutable state) ---------------
 
   uint64_t version() const { return version_; }
   /// |V| of the original graph this version was compressed from.
-  size_t original_num_nodes() const { return reach_map_.size(); }
+  size_t original_num_nodes() const {
+    return reach_ == nullptr ? 0 : reach_->node_map.size();
+  }
 
   /// QR(u, v) on the original node ids: rewrite through the reach node map,
   /// then run the stock algorithm on the frozen quotient (Theorem 2).
   bool Reach(NodeId u, NodeId v, PathMode mode = PathMode::kReflexive,
              ReachAlgorithm algo = ReachAlgorithm::kBfs) const;
+
+  /// Multi-source, multi-target reachability under *non-empty* path
+  /// semantics: reached[i] = 1 iff some source has a path of length >= 1 to
+  /// targets[i]. One BFS over the frozen quotient regardless of the number
+  /// of sources and targets — the router's boundary-crossing search uses
+  /// this to resolve a whole frontier wave against a shard in one sweep.
+  /// Scratch space is thread-local; any number of threads may call
+  /// concurrently.
+  void ReachManyNonEmpty(std::span<const NodeId> sources,
+                         std::span<const NodeId> targets,
+                         std::vector<char>& reached) const;
+
+  /// One router wave against this shard: resolves, for every entry in
+  /// `sources`, whether `target` is reachable (return value) and which of
+  /// this snapshot's boundary_exits() are (exit_reached[i], indexed like
+  /// boundary_exits()) — all by non-empty paths, in one sweep, without
+  /// copying the exit table. Thread-safe like ReachManyNonEmpty.
+  bool ResolveWave(std::span<const NodeId> sources, NodeId target,
+                   std::vector<char>& exit_reached) const;
 
   /// The maximum match of q, expanded back to original node ids (F = id,
   /// Match on the frozen quotient, then P; Theorem 4).
@@ -62,25 +175,57 @@ class ServingSnapshot {
   /// Boolean pattern query — evaluated on the frozen quotient, no P needed.
   bool BooleanMatch(const PatternQuery& q) const;
 
-  /// The frozen reachability quotient (for stats / direct sweeps).
-  const CsrGraph& reach_gr() const { return reach_gr_; }
-  /// The frozen bisimulation quotient.
-  const CsrGraph& pattern_gr() const { return pattern_gr_; }
+  /// The frozen reachability quotient (for stats / direct sweeps). Like
+  /// every accessor below, only valid on a frozen/adopted snapshot (never
+  /// on the default-constructed buffer state).
+  const CsrGraph& reach_gr() const {
+    QPGC_DCHECK(reach_ != nullptr);
+    return reach_->gr;
+  }
+  /// The frozen bisimulation quotient (owned blocks only — see
+  /// FrozenPatternSide).
+  const CsrGraph& pattern_gr() const {
+    QPGC_DCHECK(pattern_ != nullptr);
+    return pattern_->gr;
+  }
+  /// Block map, member index, and ghost-directed cross edges of the frozen
+  /// bisimulation quotient (what the router's stitched cross-shard quotient
+  /// is built from). pattern_map() maps ghost nodes to kInvalidNode.
+  const std::vector<NodeId>& pattern_map() const {
+    QPGC_DCHECK(pattern_ != nullptr);
+    return pattern_->node_map;
+  }
+  std::span<const NodeId> pattern_block_members(NodeId block) const {
+    QPGC_DCHECK(pattern_ != nullptr);
+    return pattern_->block_members(block);
+  }
+  const std::vector<std::pair<NodeId, NodeId>>& pattern_cross_edges() const {
+    QPGC_DCHECK(pattern_ != nullptr);
+    return pattern_->cross_edges;
+  }
 
-  /// Heap bytes held by this snapshot.
+  /// Shared handles to the sides (the manager passes an untouched side
+  /// through to the next version).
+  std::shared_ptr<const FrozenReachSide> reach_side() const { return reach_; }
+  std::shared_ptr<const FrozenPatternSide> pattern_side() const {
+    return pattern_;
+  }
+
+  /// Boundary-exit nodes of this shard at this version, sorted ascending:
+  /// ghost nodes with at least one in-edge inside the shard. Empty for
+  /// unsharded serving.
+  const std::vector<NodeId>& boundary_exits() const;
+
+  /// Heap bytes held by this snapshot. Shared sides are counted in full in
+  /// every snapshot that references them (per-handle accounting, not
+  /// deduplicated across versions).
   size_t MemoryBytes() const;
 
  private:
   uint64_t version_ = 0;
-
-  // Reachability side: frozen Gr + R(v) map.
-  CsrGraph reach_gr_;
-  std::vector<NodeId> reach_map_;
-
-  // Pattern side: frozen quotient + block map + member index (what P needs).
-  CsrGraph pattern_gr_;
-  std::vector<NodeId> pattern_map_;
-  std::vector<std::vector<NodeId>> members_;
+  std::shared_ptr<const FrozenReachSide> reach_;
+  std::shared_ptr<const FrozenPatternSide> pattern_;
+  std::shared_ptr<const std::vector<NodeId>> boundary_exits_;
 };
 
 }  // namespace qpgc

@@ -8,23 +8,86 @@
 
 namespace qpgc {
 
-std::unique_ptr<ServingSnapshot> SnapshotManager::BufferPool::Take() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (spares_.empty()) return nullptr;
-  std::unique_ptr<ServingSnapshot> buf = std::move(spares_.back());
-  spares_.pop_back();
+namespace {
+
+template <typename T>
+std::unique_ptr<T> TakeSpare(std::vector<std::unique_ptr<T>>& spares) {
+  if (spares.empty()) return nullptr;
+  std::unique_ptr<T> buf = std::move(spares.back());
+  spares.pop_back();
   return buf;
 }
 
-void SnapshotManager::BufferPool::Return(std::unique_ptr<ServingSnapshot> buf) {
+// Freezes one artifact into a pooled (or fresh) side buffer and wraps it in
+// a handle whose deleter hands the buffer back to the pool when the last
+// snapshot sharing it retires. That final refcount drop synchronizes with
+// the next take, so a later freeze's writes can never race a straggling
+// reader's reads.
+template <typename Side, typename Artifact, typename TakeFn, typename GiveFn>
+std::shared_ptr<const Side> FreezeSide(const Artifact& artifact, TakeFn take,
+                                       GiveFn give_back, PublishStats& stats) {
+  std::unique_ptr<Side> buf = take();
+  if (buf != nullptr) {
+    stats.reused_buffer = true;
+  } else {
+    buf = std::make_unique<Side>();
+  }
+  buf->Fill(artifact);
+  return std::shared_ptr<const Side>(
+      buf.release(), [give_back](const Side* p) {
+        give_back(std::unique_ptr<Side>(const_cast<Side*>(p)));
+      });
+}
+
+}  // namespace
+
+std::unique_ptr<ServingSnapshot> SnapshotManager::BufferPool::TakeShell() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return TakeSpare(shells_);
+}
+
+void SnapshotManager::BufferPool::ReturnShell(
+    std::unique_ptr<ServingSnapshot> shell) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (spares_.size() < kMaxSpares) {
-      spares_.push_back(std::move(buf));
+    if (shells_.size() < kMaxSpares) {
+      shells_.push_back(std::move(shell));
       return;
     }
   }
   // Pool full: let the excess buffer die outside the lock.
+}
+
+std::unique_ptr<FrozenReachSide> SnapshotManager::BufferPool::TakeReach() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return TakeSpare(reach_spares_);
+}
+
+void SnapshotManager::BufferPool::ReturnReach(
+    std::unique_ptr<FrozenReachSide> side) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (reach_spares_.size() < kMaxSpares) {
+      reach_spares_.push_back(std::move(side));
+      return;
+    }
+  }
+}
+
+std::unique_ptr<FrozenPatternSide> SnapshotManager::BufferPool::TakePattern() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return TakeSpare(pattern_spares_);
+}
+
+void SnapshotManager::BufferPool::ReturnPattern(
+    std::unique_ptr<FrozenPatternSide> side) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pattern_spares_.size() < kMaxSpares) {
+      pattern_spares_.push_back(std::move(side));
+      return;
+    }
+  }
 }
 
 std::shared_ptr<const ServingSnapshot> SnapshotManager::Slot::load() const {
@@ -52,7 +115,7 @@ void SnapshotManager::Slot::store(std::shared_ptr<const ServingSnapshot> p) {
 
 SnapshotManager::SnapshotManager(Graph g, SnapshotManagerOptions options)
     : g_(std::move(g)),
-      options_(options),
+      options_(std::move(options)),
       rc_(CompressR(g_, options_.reach_options)),
       pc_(CompressB(g_, options_.pattern_options)),
       pool_(std::make_shared<BufferPool>()) {
@@ -60,6 +123,12 @@ SnapshotManager::SnapshotManager(Graph g, SnapshotManagerOptions options)
 }
 
 ApplyStats SnapshotManager::Apply(const UpdateBatch& batch) {
+  return Apply(batch, nullptr);
+}
+
+ApplyStats SnapshotManager::Apply(
+    const UpdateBatch& batch,
+    const std::function<void(const UpdateBatch&)>& on_applied) {
   ApplyStats stats;
   const UpdateBatch effective = ApplyBatch(g_, batch);
   stats.effective_updates = effective.size();
@@ -70,6 +139,10 @@ ApplyStats SnapshotManager::Apply(const UpdateBatch& batch) {
     pending_pcm_.Accumulate(stats.pcm);
     pending_updates_ += effective.size();
   }
+  // Publish-visible side state derived from the update stream (boundary-exit
+  // refcounts in sharded serving) must update before a policy-triggered
+  // publish can capture it.
+  if (on_applied) on_applied(effective);
   if (ShouldAutoPublish()) {
     stats.published = true;
     stats.publish = Publish();
@@ -77,30 +150,71 @@ ApplyStats SnapshotManager::Apply(const UpdateBatch& batch) {
   return stats;
 }
 
-PublishStats SnapshotManager::Publish() {
+PublishStats SnapshotManager::Publish(FreezeMode mode) {
   PublishStats stats;
   stats.version = ++version_;
   stats.updates_included = pending_updates_;
 
+  // The previous snapshot: the source of shared sides under FreezeMode::kAuto
+  // (pinning it here briefly delays its retirement past the swap, which is
+  // harmless).
+  const std::shared_ptr<const ServingSnapshot> prev = current_.load();
+  // An artifact whose accumulated incremental stats kept no updates since
+  // the last publish is bit-identical to the published one (reduced updates
+  // are dropped *before* the artifact is touched), so the previous side can
+  // be shared instead of refrozen.
+  const bool freeze_reach = mode == FreezeMode::kFull || prev == nullptr ||
+                            pending_rcm_.kept_updates > 0;
+  const bool freeze_pattern = mode == FreezeMode::kFull || prev == nullptr ||
+                              pending_pcm_.kept_updates > 0;
+
   // Freeze off the read path: readers keep running on the published
-  // snapshot while the inactive buffer fills.
+  // snapshot while the inactive buffers fill.
   Timer freeze_timer;
-  std::unique_ptr<ServingSnapshot> buf = pool_->Take();
-  stats.reused_buffer = buf != nullptr;
-  if (buf == nullptr) buf = std::make_unique<ServingSnapshot>();
-  buf->Freeze(version_, rc_, pc_);
+  std::shared_ptr<const FrozenReachSide> reach;
+  if (freeze_reach) {
+    stats.froze_reach = true;
+    reach = FreezeSide<FrozenReachSide>(
+        rc_, [this] { return pool_->TakeReach(); },
+        [pool = pool_](std::unique_ptr<FrozenReachSide> buf) {
+          pool->ReturnReach(std::move(buf));
+        },
+        stats);
+  } else {
+    reach = prev->reach_side();
+  }
+  std::shared_ptr<const FrozenPatternSide> pattern;
+  if (freeze_pattern) {
+    stats.froze_pattern = true;
+    pattern = FreezeSide<FrozenPatternSide>(
+        pc_, [this] { return pool_->TakePattern(); },
+        [pool = pool_](std::unique_ptr<FrozenPatternSide> buf) {
+          pool->ReturnPattern(std::move(buf));
+        },
+        stats);
+  } else {
+    pattern = prev->pattern_side();
+  }
+
+  std::shared_ptr<const std::vector<NodeId>> exits;
+  if (options_.boundary_exits_provider) {
+    exits = options_.boundary_exits_provider();
+  }
+
+  std::unique_ptr<ServingSnapshot> shell = pool_->TakeShell();
+  if (shell == nullptr) shell = std::make_unique<ServingSnapshot>();
+  shell->Adopt(version_, std::move(reach), std::move(pattern),
+               std::move(exits));
   stats.freeze_secs = freeze_timer.ElapsedSeconds();
 
-  // Wrap the buffer in a handle whose deleter hands it back to the pool
-  // when the last reader drops it. That final refcount drop synchronizes
-  // with the next Take(), so a later freeze's writes can never race a
-  // straggling reader's reads.
-  std::shared_ptr<BufferPool> pool = pool_;
-  ServingSnapshot* raw = buf.release();
+  // Wrap the shell in a handle whose deleter releases its side shares and
+  // returns it to the pool when the last reader drops it.
+  ServingSnapshot* raw = shell.release();
   std::shared_ptr<const ServingSnapshot> handle(
-      raw, [pool = std::move(pool)](const ServingSnapshot* p) {
-        pool->Return(
-            std::unique_ptr<ServingSnapshot>(const_cast<ServingSnapshot*>(p)));
+      raw, [pool = pool_](const ServingSnapshot* p) {
+        ServingSnapshot* shell = const_cast<ServingSnapshot*>(p);
+        shell->Reset();  // drop side shares first: unshared sides recycle
+        pool->ReturnShell(std::unique_ptr<ServingSnapshot>(shell));
       });
 
   // The swap itself: one O(1) pointer store, independent of graph size. The

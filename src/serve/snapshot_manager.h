@@ -10,20 +10,28 @@
 //  * Exactly one writer thread calls Apply() / Publish(). Updates flow
 //    through the existing incremental algorithms (IncRCM Section 5.1,
 //    IncPCM Section 5.2), so per-batch maintenance cost stays a function of
-//    |AFF| and |Gr|, never |G|.
+//    |AFF| and |Gr|, never |G|. In sharded serving every shard has its own
+//    manager and therefore its own independent writer
+//    (serve/sharded_manager.h); the single-writer contract is per shard.
 //  * Any number of reader threads call Acquire() (or go through
 //    serve/query_service.h). A reader pins the current snapshot with a
 //    shared_ptr for the duration of a query and runs on it lock-free.
-//  * Publish() freezes the compressed state into an *inactive* buffer — off
+//  * Publish() freezes the compressed state into *inactive* buffers — off
 //    the read path, readers never observe a half-frozen snapshot — and then
-//    swaps it in with one O(1) atomic pointer store. Swap latency is
-//    independent of graph size by construction.
+//    swaps the assembled snapshot in with one O(1) atomic pointer store.
+//    Swap latency is independent of graph size by construction.
+//  * Per-artifact freezing: an artifact whose accumulated incremental stats
+//    show no kept updates since the last publish is *shared* from the
+//    previous snapshot instead of refrozen (the new version's shell points
+//    at the same immutable FrozenReachSide / FrozenPatternSide). Reach-only
+//    or pattern-only update streams therefore pay publish cost for the side
+//    that actually moved. FreezeMode::kFull forces both (benchmarks use it
+//    to measure full freeze cost).
 //  * Retirement is reader-driven: a published snapshot's control block
-//    carries a deleter that returns the buffer to the manager's pool when
-//    the last reader drops it (double buffering in steady state: the pool
-//    holds the one retired buffer the next freeze reuses). The pool is
-//    shared-owned by every outstanding handle, so snapshots outliving the
-//    manager stay valid.
+//    carries a deleter that returns the shell — and, once unshared, its
+//    side buffers — to the manager's pool when the last reader drops it
+//    (double buffering in steady state). The pool is shared-owned by every
+//    outstanding handle, so snapshots outliving the manager stay valid.
 //
 // Publish policies decouple *when* to publish from the update stream:
 // manual (caller decides), every-N-updates (amortize freeze cost over N
@@ -37,6 +45,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -96,6 +105,23 @@ struct SnapshotManagerOptions {
   PublishPolicy policy = PublishPolicy::Manual();
   CompressROptions reach_options;
   CompressBOptions pattern_options;
+  /// Sharded serving hook: called on the writer path inside Publish() to
+  /// capture the shard's current boundary-exit set (sorted ascending,
+  /// immutable, shared by pointer across versions whose membership did not
+  /// change) into the snapshot being assembled, so exits and frozen graphs
+  /// can never disagree about the version they describe. Null (the
+  /// default) stamps every snapshot with an empty exit set — correct for
+  /// unsharded serving.
+  std::function<std::shared_ptr<const std::vector<NodeId>>()>
+      boundary_exits_provider;
+};
+
+/// How Publish() treats artifacts the update stream left untouched.
+enum class FreezeMode {
+  /// Share untouched sides from the previous snapshot (the default).
+  kAuto,
+  /// Refreeze both sides unconditionally (benchmarking full freeze cost).
+  kFull,
 };
 
 /// What one Publish() did.
@@ -104,12 +130,18 @@ struct PublishStats {
   uint64_t version = 0;
   /// Effective updates included since the previous publish.
   size_t updates_included = 0;
-  /// Wall time of the freeze into the inactive buffer (off the read path).
+  /// Wall time of the freeze into the inactive buffers (off the read path).
   double freeze_secs = 0.0;
   /// Wall time of the atomic pointer swap (what readers can ever contend
   /// with; O(1) regardless of graph size).
   double swap_secs = 0.0;
-  /// True when the freeze recycled a retired snapshot's buffers.
+  /// Which sides were actually refrozen (a side is shared from the previous
+  /// snapshot when its accumulated incremental stats kept no updates and
+  /// FreezeMode::kFull was not requested).
+  bool froze_reach = false;
+  bool froze_pattern = false;
+  /// True when the freeze recycled at least one retired *side* buffer
+  /// (shell recycling, which carries no artifact data, is not counted).
   bool reused_buffer = false;
 };
 
@@ -140,9 +172,19 @@ class SnapshotManager {
   /// artifacts incrementally; publishes if the policy says so.
   ApplyStats Apply(const UpdateBatch& batch);
 
-  /// Freezes the current compressed state into an inactive buffer and
-  /// atomically swaps it in as the new published snapshot.
-  PublishStats Publish();
+  /// Same, invoking `on_applied` with the *effective* batch after the
+  /// artifacts were maintained but before any policy-triggered publish —
+  /// the window in which publish-visible side state derived from the update
+  /// stream (e.g. the sharded manager's boundary-exit refcounts) must be
+  /// brought up to date.
+  ApplyStats Apply(const UpdateBatch& batch,
+                   const std::function<void(const UpdateBatch&)>& on_applied);
+
+  /// Freezes the current compressed state into inactive buffers and
+  /// atomically swaps it in as the new published snapshot. Under
+  /// FreezeMode::kAuto an artifact with no kept updates since the last
+  /// publish is shared from the previous snapshot instead of refrozen.
+  PublishStats Publish(FreezeMode mode = FreezeMode::kAuto);
 
   /// The mutable source of truth (writer-side inspection).
   const Graph& graph() const { return g_; }
@@ -156,7 +198,8 @@ class SnapshotManager {
   size_t pending_updates() const { return pending_updates_; }
   /// Seconds since the last publish (the published snapshot's age).
   double staleness_secs() const { return staleness_timer_.ElapsedSeconds(); }
-  /// Accumulated dirty-cone stats since the last publish (for policies).
+  /// Accumulated dirty-cone stats since the last publish (for policies, and
+  /// what Publish() keys the per-side freeze skip on).
   const IncRcmStats& pending_rcm_stats() const { return pending_rcm_; }
   const IncPcmStats& pending_pcm_stats() const { return pending_pcm_; }
 
@@ -168,20 +211,26 @@ class SnapshotManager {
   std::shared_ptr<const ServingSnapshot> Acquire() const;
 
  private:
-  // Recycled freeze buffers. Shared-owned by the manager and (through the
-  // handle deleters) by every outstanding snapshot, so a reader outliving
-  // the manager still has somewhere to return its buffer.
+  // Recycled freeze buffers: snapshot shells plus per-side artifact
+  // buffers. Shared-owned by the manager and (through the handle deleters)
+  // by every outstanding snapshot, so a reader outliving the manager still
+  // has somewhere to return its buffers.
   class BufferPool {
    public:
-    /// Pops a retired buffer, or null when none is available.
-    std::unique_ptr<ServingSnapshot> Take();
-    /// Returns a buffer; keeps at most `kMaxSpares`, frees the rest.
-    void Return(std::unique_ptr<ServingSnapshot> buf);
+    std::unique_ptr<ServingSnapshot> TakeShell();
+    void ReturnShell(std::unique_ptr<ServingSnapshot> shell);
+    std::unique_ptr<FrozenReachSide> TakeReach();
+    void ReturnReach(std::unique_ptr<FrozenReachSide> side);
+    std::unique_ptr<FrozenPatternSide> TakePattern();
+    void ReturnPattern(std::unique_ptr<FrozenPatternSide> side);
 
    private:
+    // Keeps at most kMaxSpares of each kind; the excess is freed.
     static constexpr size_t kMaxSpares = 2;
     std::mutex mu_;
-    std::vector<std::unique_ptr<ServingSnapshot>> spares_;
+    std::vector<std::unique_ptr<ServingSnapshot>> shells_;
+    std::vector<std::unique_ptr<FrozenReachSide>> reach_spares_;
+    std::vector<std::unique_ptr<FrozenPatternSide>> pattern_spares_;
   };
 
   // The published-snapshot slot. Uses the C++20 atomic<shared_ptr>

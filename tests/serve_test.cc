@@ -84,7 +84,7 @@ TEST(ServingSnapshotTest, FreezeAnswersLikeArtifactsAndOriginal) {
   }
 }
 
-TEST(ServingSnapshotTest, RefreezeReusesBuffersAcrossVersions) {
+TEST(ServingSnapshotTest, RefreezeCarriesNoResidueAcrossVersions) {
   const Graph g1 = SmallLabeledGraph();
   Graph g2 = g1;
   g2.AddEdge(0, 5);
@@ -152,19 +152,105 @@ TEST(SnapshotManagerTest, PinnedSnapshotSurvivesLaterPublishes) {
 
 TEST(SnapshotManagerTest, RetiredBuffersAreReused) {
   SnapshotManager mgr(SmallLabeledGraph());
-  // v1's buffer was freshly allocated at construction. Publishing v2
-  // displaces v1; with no readers pinning it, its buffer returns to the
-  // pool immediately, so v3's freeze reuses it.
-  const PublishStats v2 = mgr.Publish();
-  const PublishStats v3 = mgr.Publish();
+  // v1's buffers were freshly allocated at construction. Publishing v2
+  // (full freeze, so the publish does not just share v1's untouched sides)
+  // displaces v1; with no readers pinning it, its buffers return to the
+  // pool immediately, so v3's freeze reuses them.
+  const PublishStats v2 = mgr.Publish(FreezeMode::kFull);
+  const PublishStats v3 = mgr.Publish(FreezeMode::kFull);
   EXPECT_FALSE(v2.reused_buffer);
   EXPECT_TRUE(v3.reused_buffer);
 
   // A pinned snapshot is not reusable until released.
   const auto pinned = mgr.Acquire();  // pins v3
-  const PublishStats v4 = mgr.Publish();  // v3 still pinned; v2's buffer free
+  // v3 still pinned; v2's buffers free.
+  const PublishStats v4 = mgr.Publish(FreezeMode::kFull);
   EXPECT_TRUE(v4.reused_buffer);
   EXPECT_EQ(pinned->version(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Per-artifact freezing: a side whose accumulated incremental stats kept no
+// updates is shared from the previous snapshot instead of refrozen.
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotManagerTest, PublishWithNoUpdatesSharesBothSides) {
+  SnapshotManager mgr(SmallLabeledGraph());
+  const auto v1 = mgr.Acquire();
+  const PublishStats stats = mgr.Publish();  // nothing pending
+  EXPECT_FALSE(stats.froze_reach);
+  EXPECT_FALSE(stats.froze_pattern);
+  const auto v2 = mgr.Acquire();
+  EXPECT_EQ(v2->version(), 2u);
+  // Same frozen sides, new shell.
+  EXPECT_EQ(v1->reach_side().get(), v2->reach_side().get());
+  EXPECT_EQ(v1->pattern_side().get(), v2->pattern_side().get());
+  EXPECT_NE(v1.get(), v2.get());
+}
+
+TEST(SnapshotManagerTest, PatternOnlyRedundantUpdateSkipsPatternFreeze) {
+  // u (label 0) -> w1; w1 and w2 are bisimilar sinks (label 1). Inserting
+  // (u, w2) is redundant for the bisimulation quotient (u keeps child w1 in
+  // w2's block: minDelta drops it) but changes reachability (u did not
+  // reach w2), so a publish must refreeze the reach side only.
+  Graph g(std::vector<Label>{0, 1, 1});
+  g.AddEdge(0, 1);
+  SnapshotManager mgr(g);
+  const auto v1 = mgr.Acquire();
+  EXPECT_FALSE(v1->Reach(0, 2));
+
+  UpdateBatch batch;
+  batch.Insert(0, 2);
+  const ApplyStats applied = mgr.Apply(batch);
+  EXPECT_EQ(applied.effective_updates, 1u);
+  EXPECT_GT(applied.rcm.kept_updates, 0u);
+  EXPECT_EQ(applied.pcm.kept_updates, 0u);
+
+  const PublishStats stats = mgr.Publish();
+  EXPECT_TRUE(stats.froze_reach);
+  EXPECT_FALSE(stats.froze_pattern);
+  const auto v2 = mgr.Acquire();
+  EXPECT_EQ(v1->pattern_side().get(), v2->pattern_side().get());
+  EXPECT_NE(v1->reach_side().get(), v2->reach_side().get());
+  // The shared-pattern snapshot still answers exactly like the post-update
+  // graph on both query classes.
+  EXPECT_TRUE(v2->Reach(0, 2));
+  const Graph& truth = mgr.graph();
+  for (const PatternQuery& q : TestPatterns(truth, 4, 77)) {
+    EXPECT_EQ(v2->Match(q).match_sets, Match(truth, q).match_sets);
+  }
+}
+
+TEST(SnapshotManagerTest, ReachOnlyRedundantUpdateSkipsReachFreeze) {
+  // Chain u -> x -> v with distinct labels. Inserting the shortcut (u, v)
+  // changes no reachability (the Gr-closure redundancy rule drops it) but
+  // adds a new successor block to u, so the publish must refreeze the
+  // pattern side only.
+  Graph g(std::vector<Label>{0, 1, 2});
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  SnapshotManager mgr(g);
+  const auto v1 = mgr.Acquire();
+
+  UpdateBatch batch;
+  batch.Insert(0, 2);
+  const ApplyStats applied = mgr.Apply(batch);
+  EXPECT_EQ(applied.effective_updates, 1u);
+  EXPECT_EQ(applied.rcm.kept_updates, 0u);
+  EXPECT_GT(applied.pcm.kept_updates, 0u);
+
+  const PublishStats stats = mgr.Publish();
+  EXPECT_FALSE(stats.froze_reach);
+  EXPECT_TRUE(stats.froze_pattern);
+  const auto v2 = mgr.Acquire();
+  EXPECT_EQ(v1->reach_side().get(), v2->reach_side().get());
+  EXPECT_NE(v1->pattern_side().get(), v2->pattern_side().get());
+  const Graph& truth = mgr.graph();
+  for (NodeId u = 0; u < truth.num_nodes(); ++u) {
+    for (NodeId v = 0; v < truth.num_nodes(); ++v) {
+      EXPECT_EQ(v2->Reach(u, v), BfsReaches(truth, u, v));
+    }
+  }
 }
 
 TEST(SnapshotManagerTest, SnapshotOutlivesManager) {

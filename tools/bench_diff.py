@@ -58,8 +58,13 @@ def is_timing(key):
 
 
 def is_throughput(key):
-    """Higher-is-better rate metrics (queries/sec, updates/sec, ...)."""
+    """Higher-is-better rate metrics (queries/sec, updates/sec, ...).
+
+    Like is_timing's "_secs." case, the dotted forms cover suffixed series
+    keys such as "local_reach_qps.K4".
+    """
     return (key.endswith("_qps") or key.endswith("_per_sec")
+            or "_qps." in key or "_per_sec." in key
             or "throughput" in key)
 
 

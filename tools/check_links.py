@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Fails on broken relative links in the repository's Markdown tree.
+
+Usage:
+  tools/check_links.py [ROOT]
+
+Scans README.md, ROADMAP.md, and every *.md under docs/ (relative to ROOT,
+default: the repository root containing this script's parent) for inline
+Markdown links and images. For relative targets, the referenced file must
+exist; absolute URLs (http/https/mailto) and intra-page anchors (#...) are
+not checked. Anchored file links (FILE.md#section) check only the file.
+
+Exit status: 0 when every relative link resolves, 1 otherwise (one line
+per broken link). This is the CI docs job's gate — a moved or renamed
+file breaks the build instead of silently rotting the docs.
+"""
+
+import os
+import re
+import sys
+
+# Inline links/images: [text](target) — stops at the first ')' or space,
+# which is fine for this repo's links (no titles, no parenthesized URLs).
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def doc_files(root):
+    docs = []
+    for name in ("README.md", "ROADMAP.md"):
+        path = os.path.join(root, name)
+        if os.path.isfile(path):
+            docs.append(path)
+    docs_dir = os.path.join(root, "docs")
+    if os.path.isdir(docs_dir):
+        for dirpath, _, filenames in os.walk(docs_dir):
+            for filename in sorted(filenames):
+                if filename.endswith(".md"):
+                    docs.append(os.path.join(dirpath, filename))
+    return docs
+
+
+def check_file(path):
+    broken = []
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(SKIP_PREFIXES):
+                    continue
+                # Drop an in-file anchor; an empty remainder was '#...' only.
+                file_part = target.split("#", 1)[0]
+                if not file_part:
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(path), file_part))
+                if not os.path.exists(resolved):
+                    broken.append((lineno, target, resolved))
+    return broken
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else os.path.normpath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir))
+    files = doc_files(root)
+    if not files:
+        print(f"check_links: no Markdown files found under {root}",
+              file=sys.stderr)
+        return 1
+    failures = 0
+    for path in files:
+        for lineno, target, resolved in check_file(path):
+            print(f"{os.path.relpath(path, root)}:{lineno}: broken link "
+                  f"'{target}' (resolved to {resolved})")
+            failures += 1
+    checked = len(files)
+    if failures:
+        print(f"check_links: {failures} broken link(s) across {checked} "
+              f"file(s)")
+        return 1
+    print(f"check_links: OK ({checked} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

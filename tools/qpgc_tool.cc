@@ -20,6 +20,14 @@
 // `compressb` accepts --bisim-engine=paige-tarjan|ranked|signature to pick
 // the maximum-bisimulation engine (default paige-tarjan).
 //
+// `compress` and `serve-sim` accept --shards=K (default 1): `compress`
+// hash-partitions the graph, runs the whole batch pipeline zero-copy over
+// each shard's ShardView (graph/shard_view.h), writes one artifact per
+// shard (<out>.shard<i>) and prints the per-shard compression and boundary
+// table; `serve-sim` serves through a ShardedSnapshotManager behind the
+// routing ShardedQueryService (serve/sharded_manager.h, serve/router.h),
+// with the writer stream routed per shard.
+//
 // Both compression commands freeze an immutable CsrGraph snapshot of the
 // loaded graph and run the whole batch pipeline on the flat layout (see
 // graph/graph_view.h); `stats` reports the snapshot's memory next to the
@@ -41,10 +49,13 @@
 #include "graph/csr.h"
 #include "graph/io.h"
 #include "graph/stats.h"
+#include "graph/shard_view.h"
 #include "reach/compress_r.h"
 #include "reach/queries.h"
 #include "serve/load_gen.h"
 #include "serve/query_service.h"
+#include "serve/router.h"
+#include "serve/sharded_manager.h"
 #include "serve/snapshot_manager.h"
 #include "util/memory.h"
 #include "util/timer.h"
@@ -57,15 +68,15 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  qpgc_tool stats     <edges> [labels]\n"
-               "  qpgc_tool compress  <edges> <artifact-out>\n"
+               "  qpgc_tool compress  [--shards=K] <edges> <artifact-out>\n"
                "  qpgc_tool compressb [--bisim-engine=paige-tarjan|ranked|"
                "signature]\n"
                "                      <edges> <labels> <artifact-out>\n"
                "  qpgc_tool query     <artifact> <u> <v>\n"
                "  qpgc_tool info      <artifact>\n"
                "  qpgc_tool dataset   <name> <edges-out>\n"
-               "  qpgc_tool serve-sim <edges> [labels] [--readers=N] "
-               "[--duration=SECS]\n"
+               "  qpgc_tool serve-sim <edges> [labels] [--shards=K] "
+               "[--readers=N] [--duration=SECS]\n"
                "                      [--batch-size=N] [--publish-every=N | "
                "--staleness-ms=MS]\n");
   return 2;
@@ -102,24 +113,73 @@ int CmdStats(const char* edges, const char* labels) {
   return 0;
 }
 
-int CmdCompress(const char* edges, const char* out) {
+int CmdCompress(const char* edges, const char* out, uint32_t shards) {
   auto loaded = LoadEdgeList(edges);
   if (!loaded.ok()) {
     std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
     return 1;
   }
   const Graph& g = loaded.value();
-  Timer t;
-  const ReachCompression rc = CompressR(g);
-  std::printf("compressR: %.1fms;  |G| = %zu -> |Gr| = %zu  (RCr = %.2f%%)\n",
-              t.ElapsedMillis(), g.size(), rc.size(),
-              rc.CompressionRatio() * 100);
-  const Status s = SaveReachCompression(rc, out);
-  if (!s.ok()) {
-    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+  if (shards <= 1) {
+    Timer t;
+    const ReachCompression rc = CompressR(g);
+    std::printf(
+        "compressR: %.1fms;  |G| = %zu -> |Gr| = %zu  (RCr = %.2f%%)\n",
+        t.ElapsedMillis(), g.size(), rc.size(), rc.CompressionRatio() * 100);
+    const Status s = SaveReachCompression(rc, out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("artifact written to %s\n", out);
+    return 0;
+  }
+
+  // Sharded compression: the whole batch pipeline runs zero-copy over each
+  // shard's ShardView; one artifact per shard.
+  if (!LabelsShardable(g)) {
+    std::fprintf(stderr,
+                 "compress: labels exceed the shardable range (every label "
+                 "must be below %u)\n",
+                 kGhostLabelBase);
     return 1;
   }
-  std::printf("artifact written to %s\n", out);
+  const ShardPartition part = ShardPartition::Hash(g.num_nodes(), shards, 0);
+  std::printf("%-6s %10s %10s %12s %8s %12s %12s\n", "shard", "|V_own|",
+              "|G_s|", "|Gr_s|", "RCr", "cross-out", "boundary-in");
+  size_t total_gr = 0;
+  for (uint32_t s = 0; s < shards; ++s) {
+    Timer t;
+    const ShardView<Graph> view(g, part, s);
+    const ReachCompression rc = CompressR(view);
+    total_gr += rc.size();
+    size_t cross = 0;
+    std::vector<uint8_t> boundary(g.num_nodes(), 0);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (!part.Owns(s, u)) continue;
+      for (const NodeId v : g.OutNeighbors(u)) {
+        if (!part.Owns(s, v)) {
+          ++cross;
+          boundary[v] = 1;
+        }
+      }
+    }
+    size_t boundary_nodes = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) boundary_nodes += boundary[v];
+    const std::string shard_out =
+        std::string(out) + ".shard" + std::to_string(s);
+    const Status status = SaveReachCompression(rc, shard_out.c_str());
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("%-6u %10zu %10zu %12zu %7.2f%% %12zu %12zu  (%.1fms -> %s)\n",
+                s, part.OwnedNodes(s).size(), ViewSize(view), rc.size(),
+                rc.CompressionRatio() * 100, cross, boundary_nodes,
+                t.ElapsedMillis(), shard_out.c_str());
+  }
+  std::printf("sum |Gr_s| = %zu over K = %u shards (|G| = %zu)\n", total_gr,
+              shards, g.size());
   return 0;
 }
 
@@ -201,6 +261,7 @@ struct ServeSimOptions {
   const char* edges = nullptr;
   const char* labels = nullptr;
   size_t readers = 2;
+  size_t shards = 1;
   double duration_secs = 2.0;
   size_t batch_size = 16;
   // Policy: every-N unless a staleness bound is given.
@@ -227,6 +288,7 @@ int CmdServeSim(const std::vector<const char*>& args) {
   for (const char* arg : args) {
     if (arg[0] == '-') {
       if (ParseSizeFlag(arg, "--readers=", &opts.readers) ||
+          ParseSizeFlag(arg, "--shards=", &opts.shards) ||
           ParseSizeFlag(arg, "--batch-size=", &opts.batch_size) ||
           ParseSizeFlag(arg, "--publish-every=", &opts.publish_every) ||
           ParseDoubleFlag(arg, "--duration=", &opts.duration_secs) ||
@@ -244,8 +306,8 @@ int CmdServeSim(const std::vector<const char*>& args) {
       return Usage();
     }
   }
-  if (opts.edges == nullptr || opts.readers == 0 || opts.batch_size == 0 ||
-      opts.publish_every == 0) {
+  if (opts.edges == nullptr || opts.readers == 0 || opts.shards == 0 ||
+      opts.batch_size == 0 || opts.publish_every == 0) {
     return Usage();
   }
 
@@ -270,6 +332,94 @@ int CmdServeSim(const std::vector<const char*>& args) {
     std::printf("policy: every %zu effective updates\n", opts.publish_every);
   }
 
+  // Boolean-match load only runs on labeled graphs (ServeLoadPatterns
+  // returns an empty set otherwise); reach load always runs.
+  const std::vector<PatternQuery> patterns = ServeLoadPatterns(g, 4, 19);
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> reach_queries{0};
+  std::atomic<uint64_t> match_queries{0};
+  std::vector<std::thread> readers;
+  readers.reserve(opts.readers);
+
+  if (opts.shards > 1) {
+    // Sharded serving: K per-shard managers behind the routing service;
+    // the writer stream is routed per shard by the manager facade, with a
+    // mirror graph as the update-sampling source of truth.
+    if (!LabelsShardable(g)) {
+      std::fprintf(stderr,
+                   "serve-sim: labels exceed the shardable range (every "
+                   "label must be below %u)\n",
+                   kGhostLabelBase);
+      return 1;
+    }
+    ShardedManagerOptions sharded_options;
+    sharded_options.num_shards = static_cast<uint32_t>(opts.shards);
+    sharded_options.shard_options = manager_options;
+    Graph mirror = g;
+    std::printf("%s; building %zu shard snapshots...\n",
+                g.DebugString().c_str(), opts.shards);
+    Timer build_timer;
+    ShardedSnapshotManager manager(g, sharded_options);
+    const ShardedQueryService service(manager);
+    size_t snapshot_bytes = 0;
+    for (const auto& snap : manager.AcquireAll()) {
+      snapshot_bytes += snap->MemoryBytes();
+    }
+    std::printf("version 1 live on every shard after %.1fms (snapshots %s)\n",
+                build_timer.ElapsedMillis(),
+                FormatBytes(snapshot_bytes).c_str());
+
+    for (size_t r = 0; r < opts.readers; ++r) {
+      readers.emplace_back([&, r] {
+        const ReaderLoadCounters counters =
+            RunReaderLoad(service, patterns, 100 + r, done);
+        reach_queries.fetch_add(counters.reach_queries,
+                                std::memory_order_relaxed);
+        match_queries.fetch_add(counters.match_queries,
+                                std::memory_order_relaxed);
+      });
+    }
+
+    size_t updates = 0, batches = 0, publishes = 0;
+    Timer window;
+    while (window.ElapsedSeconds() < opts.duration_secs) {
+      const UpdateBatch batch =
+          RandomMixed(mirror, opts.batch_size, 0.55, 7000 + batches);
+      ApplyBatch(mirror, batch);
+      const ShardedApplyStats stats = manager.Apply(batch);
+      ++batches;
+      updates += stats.effective_updates;
+      publishes += stats.publishes;
+    }
+    const double elapsed = window.ElapsedSeconds();
+    done.store(true, std::memory_order_relaxed);
+    for (auto& t : readers) t.join();
+
+    std::printf(
+        "\n--- %.2fs sharded simulation (K = %zu) ---\n"
+        "updates:   %zu effective in %zu batches (%.0f updates/s)\n"
+        "publishes: %zu during stream\n"
+        "queries:   %llu routed reach (%.0f/s), %llu boolean-match (%.0f/s) "
+        "across %zu readers\n",
+        elapsed, opts.shards, updates, batches,
+        static_cast<double>(updates) / elapsed, publishes,
+        static_cast<unsigned long long>(reach_queries.load()),
+        static_cast<double>(reach_queries.load()) / elapsed,
+        static_cast<unsigned long long>(match_queries.load()),
+        static_cast<double>(match_queries.load()) / elapsed, opts.readers);
+    for (uint32_t s = 0; s < manager.num_shards(); ++s) {
+      const auto snap = manager.shard(s).Acquire();
+      std::printf(
+          "shard %-3u version %llu, boundary exits %zu, |Gr(reach)| = %zu, "
+          "|Gr(pattern)| = %zu\n",
+          s, static_cast<unsigned long long>(snap->version()),
+          snap->boundary_exits().size(), snap->reach_gr().size(),
+          snap->pattern_gr().size());
+    }
+    return 0;
+  }
+
   std::printf("%s; building initial snapshot...\n", g.DebugString().c_str());
   Timer build_timer;
   SnapshotManager manager(std::move(g), manager_options);
@@ -278,16 +428,6 @@ int CmdServeSim(const std::vector<const char*>& args) {
               build_timer.ElapsedMillis(),
               FormatBytes(manager.Acquire()->MemoryBytes()).c_str());
 
-  // Boolean-match load only runs on labeled graphs (ServeLoadPatterns
-  // returns an empty set otherwise); reach load always runs.
-  const std::vector<PatternQuery> patterns =
-      ServeLoadPatterns(manager.graph(), 4, 19);
-
-  std::atomic<bool> done{false};
-  std::atomic<uint64_t> reach_queries{0};
-  std::atomic<uint64_t> match_queries{0};
-  std::vector<std::thread> readers;
-  readers.reserve(opts.readers);
   for (size_t r = 0; r < opts.readers; ++r) {
     readers.emplace_back([&, r] {
       const ReaderLoadCounters counters =
@@ -361,10 +501,14 @@ int CmdDataset(const char* name, const char* out) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip --bisim-engine=<name> wherever it appears; positional arguments
-  // keep their order.
+  // Strip --bisim-engine=<name> (and, for `compress`, --shards=K) wherever
+  // they appear; positional arguments keep their order. serve-sim parses
+  // its own flags, --shards included; any other command sees a --shards
+  // argument as positional and fails usage instead of silently ignoring it.
   BisimEngine engine = BisimEngine::kPaigeTarjan;
+  uint32_t shards = 1;
   std::vector<const char*> args;
+  const bool is_compress = argc > 1 && std::strcmp(argv[1], "compress") == 0;
   for (int i = 1; i < argc; ++i) {
     constexpr const char kEngineFlag[] = "--bisim-engine=";
     if (std::strncmp(argv[i], kEngineFlag, sizeof(kEngineFlag) - 1) == 0) {
@@ -373,6 +517,18 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "unknown bisim engine '%s'\n", value);
         return Usage();
       }
+      continue;
+    }
+    constexpr const char kShardsFlag[] = "--shards=";
+    if (is_compress &&
+        std::strncmp(argv[i], kShardsFlag, sizeof(kShardsFlag) - 1) == 0) {
+      const unsigned long value =
+          std::strtoul(argv[i] + sizeof(kShardsFlag) - 1, nullptr, 10);
+      if (value < 1) {
+        std::fprintf(stderr, "invalid shard count '%s'\n", argv[i]);
+        return Usage();
+      }
+      shards = static_cast<uint32_t>(value);
       continue;
     }
     args.push_back(argv[i]);
@@ -384,7 +540,7 @@ int main(int argc, char** argv) {
     return CmdStats(args[1], argn == 3 ? args[2] : nullptr);
   }
   if (std::strcmp(cmd, "compress") == 0 && argn == 3) {
-    return CmdCompress(args[1], args[2]);
+    return CmdCompress(args[1], args[2], shards);
   }
   if (std::strcmp(cmd, "compressb") == 0 && argn == 4) {
     return CmdCompressB(args[1], args[2], args[3], engine);
