@@ -12,7 +12,7 @@
 #include <cstdint>
 
 #include "graph/graph.h"
-#include "inc/update.h"
+#include "graph/update.h"
 
 namespace qpgc {
 

@@ -9,7 +9,7 @@
 #include <cstdint>
 
 #include "graph/graph.h"
-#include "inc/update.h"
+#include "graph/update.h"
 
 namespace qpgc {
 

@@ -1,12 +1,15 @@
 // Copyright 2026 The QPGC Authors.
 //
-// Batch updates ΔG (Section 5): a list of edge insertions and deletions.
-// The incremental compression problem: given G, Gr = R(G) and ΔG, compute
-// ΔGr with Gr ⊕ ΔGr = R(G ⊕ ΔG) — without recompressing from scratch and
-// without decompressing Gr.
+// Batch updates ΔG (Section 5): a list of edge insertions and deletions,
+// plus the primitives that apply them to a mutable Graph and route them
+// onto a shard partition. This is the graph-mutation layer; the incremental
+// *compression* problem — given G, Gr = R(G) and ΔG, compute ΔGr with
+// Gr ⊕ ΔGr = R(G ⊕ ΔG) without recompressing or decompressing — lives a
+// layer up in src/inc/ (tools/qpgc_lint.py enforces that batch-layer
+// modules depend on this header, never on src/inc/).
 
-#ifndef QPGC_INC_UPDATE_H_
-#define QPGC_INC_UPDATE_H_
+#ifndef QPGC_GRAPH_UPDATE_H_
+#define QPGC_GRAPH_UPDATE_H_
 
 #include <cstddef>
 #include <vector>
@@ -65,4 +68,4 @@ std::vector<UpdateBatch> SplitBatchByShard(const UpdateBatch& batch,
 
 }  // namespace qpgc
 
-#endif  // QPGC_INC_UPDATE_H_
+#endif  // QPGC_GRAPH_UPDATE_H_

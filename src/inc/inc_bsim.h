@@ -12,7 +12,7 @@
 
 #include "core/pattern_scheme.h"
 #include "inc/inc_pcm.h"
-#include "inc/update.h"
+#include "graph/update.h"
 
 namespace qpgc {
 

@@ -34,7 +34,7 @@
 
 #include "bisim/engine.h"
 #include "core/pattern_scheme.h"
-#include "inc/update.h"
+#include "graph/update.h"
 
 namespace qpgc {
 

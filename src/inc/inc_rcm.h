@@ -39,7 +39,7 @@
 
 #include <cstddef>
 
-#include "inc/update.h"
+#include "graph/update.h"
 #include "reach/compress_r.h"
 
 namespace qpgc {

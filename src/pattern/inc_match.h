@@ -22,7 +22,7 @@
 #define QPGC_PATTERN_INC_MATCH_H_
 
 #include "graph/graph.h"
-#include "inc/update.h"
+#include "graph/update.h"
 #include "pattern/match.h"
 #include "pattern/pattern.h"
 

@@ -14,7 +14,7 @@
 #include <span>
 #include <vector>
 
-#include "inc/update.h"
+#include "graph/update.h"
 #include "pattern/pattern.h"
 #include "util/rng.h"
 

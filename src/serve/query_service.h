@@ -11,7 +11,8 @@
 // lock-free snapshot pin plus read-only evaluation. The referenced
 // SnapshotManager must outlive the service; pinned snapshots returned by
 // Pin() may outlive both (see serve/snapshot.h). The sharded counterpart
-// with the same surface is ShardedQueryService (serve/router.h).
+// with the same surface is ShardedQueryService (serve/router.h). The
+// serving layer's capability model is documented in docs/CONCURRENCY.md.
 
 #ifndef QPGC_SERVE_QUERY_SERVICE_H_
 #define QPGC_SERVE_QUERY_SERVICE_H_

@@ -184,7 +184,7 @@ std::shared_ptr<const PinnedShards> ShardedQueryService::Pin() const {
   std::vector<std::shared_ptr<const ServingSnapshot>> snaps =
       manager_.AcquireAll();
   {
-    std::lock_guard<std::mutex> lock(pins_mu_);
+    MutexLock lock(pins_mu_);
     if (pins_ != nullptr && pins_->SameVersions(snaps)) return pins_;
   }
   // Build the fresh pin outside the lock (the stitched quotient inside it
@@ -192,7 +192,7 @@ std::shared_ptr<const PinnedShards> ShardedQueryService::Pin() const {
   // result is a valid pin of its own version vector.
   auto pins = std::make_shared<const PinnedShards>(manager_.partition_ptr(),
                                                    std::move(snaps));
-  std::lock_guard<std::mutex> lock(pins_mu_);
+  MutexLock lock(pins_mu_);
   pins_ = pins;
   return pins;
 }

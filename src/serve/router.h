@@ -41,13 +41,14 @@
 // Thread-safety: ShardedQueryService and PinnedShards are safe for
 // concurrent use from any number of reader threads. The service must not
 // outlive its manager; a PinnedShards may (it owns shared handles to the
-// snapshots and the partition).
+// snapshots and the partition). The pin-cache locking discipline is part of
+// the statically enforced capability model in docs/CONCURRENCY.md.
 
 #ifndef QPGC_SERVE_ROUTER_H_
 #define QPGC_SERVE_ROUTER_H_
 
 #include <memory>
-#include <mutex>
+#include <mutex>  // std::once_flag (the pin cache lock is qpgc::Mutex)
 #include <utility>
 #include <vector>
 
@@ -57,6 +58,7 @@
 #include "pattern/pattern.h"
 #include "serve/sharded_manager.h"
 #include "serve/snapshot.h"
+#include "util/thread_annotations.h"
 
 namespace qpgc {
 
@@ -156,8 +158,11 @@ class ShardedQueryService {
 
  private:
   const ShardedSnapshotManager& manager_;
-  mutable std::mutex pins_mu_;
-  mutable std::shared_ptr<const PinnedShards> pins_;
+  // Guards only the cached pin; queries run on the pinned snapshots
+  // lock-free once Pin() returns.
+  mutable Mutex pins_mu_;
+  mutable std::shared_ptr<const PinnedShards> pins_
+      QPGC_GUARDED_BY(pins_mu_);
 };
 
 }  // namespace qpgc

@@ -18,6 +18,8 @@
 // manager options' boundary_exits_provider, so the router's
 // boundary-crossing search always walks exits consistent with the pinned
 // version. Query routing and answer merging live in serve/router.h.
+// Single-writer-per-shard is a contract, not a lock — docs/CONCURRENCY.md
+// lists which contracts are lock-checked and which are TSan-checked.
 //
 // Thread-safety contract:
 //  * Construction: single thread.

@@ -10,14 +10,6 @@ namespace qpgc {
 
 namespace {
 
-template <typename T>
-std::unique_ptr<T> TakeSpare(std::vector<std::unique_ptr<T>>& spares) {
-  if (spares.empty()) return nullptr;
-  std::unique_ptr<T> buf = std::move(spares.back());
-  spares.pop_back();
-  return buf;
-}
-
 // Freezes one artifact into a pooled (or fresh) side buffer and wraps it in
 // a handle whose deleter hands the buffer back to the pool when the last
 // snapshot sharing it retires. That final refcount drop synchronizes with
@@ -41,52 +33,64 @@ std::shared_ptr<const Side> FreezeSide(const Artifact& artifact, TakeFn take,
 
 }  // namespace
 
+template <typename T>
+std::unique_ptr<T> SnapshotManager::BufferPool::TakeSpareLocked(
+    std::vector<std::unique_ptr<T>>& spares) {
+  if (spares.empty()) return nullptr;
+  std::unique_ptr<T> buf = std::move(spares.back());
+  spares.pop_back();
+  return buf;
+}
+
+template <typename T>
+std::unique_ptr<T> SnapshotManager::BufferPool::StashSpareLocked(
+    std::vector<std::unique_ptr<T>>& spares, std::unique_ptr<T> buf) {
+  if (spares.size() < kMaxSpares) {
+    spares.push_back(std::move(buf));
+    return nullptr;
+  }
+  return buf;  // pool full: caller lets the excess die outside the lock
+}
+
 std::unique_ptr<ServingSnapshot> SnapshotManager::BufferPool::TakeShell() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return TakeSpare(shells_);
+  MutexLock lock(mu_);
+  return TakeSpareLocked(shells_);
 }
 
 void SnapshotManager::BufferPool::ReturnShell(
     std::unique_ptr<ServingSnapshot> shell) {
+  std::unique_ptr<ServingSnapshot> excess;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (shells_.size() < kMaxSpares) {
-      shells_.push_back(std::move(shell));
-      return;
-    }
+    MutexLock lock(mu_);
+    excess = StashSpareLocked(shells_, std::move(shell));
   }
-  // Pool full: let the excess buffer die outside the lock.
 }
 
 std::unique_ptr<FrozenReachSide> SnapshotManager::BufferPool::TakeReach() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return TakeSpare(reach_spares_);
+  MutexLock lock(mu_);
+  return TakeSpareLocked(reach_spares_);
 }
 
 void SnapshotManager::BufferPool::ReturnReach(
     std::unique_ptr<FrozenReachSide> side) {
+  std::unique_ptr<FrozenReachSide> excess;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (reach_spares_.size() < kMaxSpares) {
-      reach_spares_.push_back(std::move(side));
-      return;
-    }
+    MutexLock lock(mu_);
+    excess = StashSpareLocked(reach_spares_, std::move(side));
   }
 }
 
 std::unique_ptr<FrozenPatternSide> SnapshotManager::BufferPool::TakePattern() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return TakeSpare(pattern_spares_);
+  MutexLock lock(mu_);
+  return TakeSpareLocked(pattern_spares_);
 }
 
 void SnapshotManager::BufferPool::ReturnPattern(
     std::unique_ptr<FrozenPatternSide> side) {
+  std::unique_ptr<FrozenPatternSide> excess;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (pattern_spares_.size() < kMaxSpares) {
-      pattern_spares_.push_back(std::move(side));
-      return;
-    }
+    MutexLock lock(mu_);
+    excess = StashSpareLocked(pattern_spares_, std::move(side));
   }
 }
 
@@ -94,7 +98,7 @@ std::shared_ptr<const ServingSnapshot> SnapshotManager::Slot::load() const {
 #ifdef QPGC_SERVE_ATOMIC_SLOT
   return ptr_.load(std::memory_order_acquire);
 #else
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return ptr_;
 #endif
 }
@@ -105,7 +109,7 @@ void SnapshotManager::Slot::store(std::shared_ptr<const ServingSnapshot> p) {
 #else
   std::shared_ptr<const ServingSnapshot> doomed;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     doomed = std::exchange(ptr_, std::move(p));
   }
   // The displaced reference (possibly the last one) drops outside the lock:

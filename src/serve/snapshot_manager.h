@@ -39,6 +39,10 @@
 // behind the source of truth). The accumulated dirty-cone stats of the
 // incremental layer since the last publish are exposed for callers that
 // want to build smarter policies on top.
+//
+// The locking discipline (what each qpgc::Mutex guards, the one sanctioned
+// atomic<shared_ptr> slot, the TSan fallback) is documented — and statically
+// enforced via the Thread Safety annotations below — in docs/CONCURRENCY.md.
 
 #ifndef QPGC_SERVE_SNAPSHOT_MANAGER_H_
 #define QPGC_SERVE_SNAPSHOT_MANAGER_H_
@@ -47,15 +51,15 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/pattern_scheme.h"
+#include "graph/update.h"
 #include "inc/inc_pcm.h"
 #include "inc/inc_rcm.h"
-#include "inc/update.h"
 #include "reach/compress_r.h"
 #include "serve/snapshot.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 // The published-snapshot slot prefers the C++20 atomic<shared_ptr>
@@ -217,26 +221,50 @@ class SnapshotManager {
   // has somewhere to return its buffers.
   class BufferPool {
    public:
-    std::unique_ptr<ServingSnapshot> TakeShell();
-    void ReturnShell(std::unique_ptr<ServingSnapshot> shell);
-    std::unique_ptr<FrozenReachSide> TakeReach();
-    void ReturnReach(std::unique_ptr<FrozenReachSide> side);
-    std::unique_ptr<FrozenPatternSide> TakePattern();
-    void ReturnPattern(std::unique_ptr<FrozenPatternSide> side);
+    std::unique_ptr<ServingSnapshot> TakeShell() QPGC_EXCLUDES(mu_);
+    void ReturnShell(std::unique_ptr<ServingSnapshot> shell)
+        QPGC_EXCLUDES(mu_);
+    std::unique_ptr<FrozenReachSide> TakeReach() QPGC_EXCLUDES(mu_);
+    void ReturnReach(std::unique_ptr<FrozenReachSide> side) QPGC_EXCLUDES(mu_);
+    std::unique_ptr<FrozenPatternSide> TakePattern() QPGC_EXCLUDES(mu_);
+    void ReturnPattern(std::unique_ptr<FrozenPatternSide> side)
+        QPGC_EXCLUDES(mu_);
 
    private:
     // Keeps at most kMaxSpares of each kind; the excess is freed.
     static constexpr size_t kMaxSpares = 2;
-    std::mutex mu_;
-    std::vector<std::unique_ptr<ServingSnapshot>> shells_;
-    std::vector<std::unique_ptr<FrozenReachSide>> reach_spares_;
-    std::vector<std::unique_ptr<FrozenPatternSide>> pattern_spares_;
+
+    // Must-hold-lock core of every Take*/Return* above (defined in the .cc,
+    // which is their only user). Stash returns the buffer back to the
+    // caller when the pool is full, so the excess can die outside the lock.
+    template <typename T>
+    std::unique_ptr<T> TakeSpareLocked(std::vector<std::unique_ptr<T>>& spares)
+        QPGC_REQUIRES(mu_);
+    template <typename T>
+    std::unique_ptr<T> StashSpareLocked(
+        std::vector<std::unique_ptr<T>>& spares, std::unique_ptr<T> buf)
+        QPGC_REQUIRES(mu_);
+
+    Mutex mu_;
+    std::vector<std::unique_ptr<ServingSnapshot>> shells_ QPGC_GUARDED_BY(mu_);
+    std::vector<std::unique_ptr<FrozenReachSide>> reach_spares_
+        QPGC_GUARDED_BY(mu_);
+    std::vector<std::unique_ptr<FrozenPatternSide>> pattern_spares_
+        QPGC_GUARDED_BY(mu_);
   };
 
   // The published-snapshot slot. Uses the C++20 atomic<shared_ptr>
   // specialization when the standard library has one; degrades to a
   // mutex-guarded pointer otherwise. Either way the store is O(1) and the
   // load is a pin (refcount bump), never a copy of snapshot data.
+  //
+  // This is the repository's ONE sanctioned lock-free shared slot — the
+  // documented exception to the Mutex-everywhere rule (see
+  // util/thread_annotations.h and docs/CONCURRENCY.md). Thread Safety
+  // Analysis cannot model the atomic path, so correctness here rests on
+  // the atomic specialization's own guarantees plus the TSan stress suite
+  // (which exercises the annotated mutex fallback instead, QPGC_SERVE_TSAN
+  // above).
   class Slot {
    public:
     std::shared_ptr<const ServingSnapshot> load() const;
@@ -244,10 +272,11 @@ class SnapshotManager {
 
    private:
 #ifdef QPGC_SERVE_ATOMIC_SLOT
+    // qpgc-lint: allow(raw-atomic-shared-ptr)
     std::atomic<std::shared_ptr<const ServingSnapshot>> ptr_;
 #else
-    mutable std::mutex mu_;
-    std::shared_ptr<const ServingSnapshot> ptr_;
+    mutable Mutex mu_;
+    std::shared_ptr<const ServingSnapshot> ptr_ QPGC_GUARDED_BY(mu_);
 #endif
   };
 

@@ -1,0 +1,94 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Clang Thread Safety Analysis surface for the whole repository: the
+// annotation macros plus the annotated qpgc::Mutex / qpgc::MutexLock
+// wrappers every lock in the codebase goes through. With Clang,
+// `-Wthread-safety` turns the serving layer's concurrency contracts (which
+// mutex guards which member, which helpers require which lock — see
+// docs/CONCURRENCY.md) into compile errors under -Werror; with other
+// compilers the macros expand to nothing and Mutex degrades to a plain
+// std::mutex wrapper with zero overhead.
+//
+// This header is the ONLY place in the repository allowed to name
+// std::mutex or the std::lock_guard family directly — tools/qpgc_lint.py
+// enforces that, so un-annotated (and therefore unanalyzable) locking can
+// never sneak back in. The one sanctioned exception to the "all shared
+// state is Mutex-guarded" rule is the published-snapshot slot's
+// std::atomic<std::shared_ptr> fast path in serve/snapshot_manager.h,
+// documented there and allowlisted by the lint.
+//
+// Annotation cheat sheet (attributes are per Clang's thread-safety docs):
+//   QPGC_GUARDED_BY(mu)   member may only be read/written with mu held
+//   QPGC_REQUIRES(mu)     function may only be called with mu held
+//   QPGC_ACQUIRE(mu)      function acquires mu and does not release it
+//   QPGC_RELEASE(mu)      function releases mu
+//   QPGC_EXCLUDES(mu)     function must NOT be called with mu held
+//
+// Negative-compile tests in tests/static_analysis/ prove the annotations
+// actually bite (an unlocked GUARDED_BY access and an unlocked REQUIRES
+// call both fail to compile under Clang).
+
+#ifndef QPGC_UTIL_THREAD_ANNOTATIONS_H_
+#define QPGC_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <mutex>  // qpgc-lint: allow(raw-mutex)
+
+// Clang (any version this repo supports) implements the thread-safety
+// attributes; GCC and MSVC silently accept the code without the analysis.
+#if defined(__clang__)
+#define QPGC_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define QPGC_THREAD_ANNOTATION_(x)
+#endif
+
+#define QPGC_CAPABILITY(x) QPGC_THREAD_ANNOTATION_(capability(x))
+#define QPGC_SCOPED_CAPABILITY QPGC_THREAD_ANNOTATION_(scoped_lockable)
+#define QPGC_GUARDED_BY(x) QPGC_THREAD_ANNOTATION_(guarded_by(x))
+#define QPGC_PT_GUARDED_BY(x) QPGC_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define QPGC_REQUIRES(...) \
+  QPGC_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define QPGC_ACQUIRE(...) \
+  QPGC_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define QPGC_RELEASE(...) \
+  QPGC_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define QPGC_EXCLUDES(...) QPGC_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define QPGC_RETURN_CAPABILITY(x) QPGC_THREAD_ANNOTATION_(lock_returned(x))
+#define QPGC_NO_THREAD_SAFETY_ANALYSIS \
+  QPGC_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace qpgc {
+
+/// The repository's mutex: a std::mutex carrying the `capability` attribute
+/// so Clang can track which locks protect which state. Same cost and
+/// semantics as std::mutex everywhere.
+class QPGC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() QPGC_ACQUIRE() { mu_.lock(); }
+  void Unlock() QPGC_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;  // qpgc-lint: allow(raw-mutex)
+};
+
+/// RAII lock for Mutex (the std::lock_guard counterpart). Scoped-capability
+/// annotated: Clang treats the guarded region as holding the mutex from
+/// construction to the end of the enclosing scope.
+class QPGC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) QPGC_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() QPGC_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace qpgc
+
+#endif  // QPGC_UTIL_THREAD_ANNOTATIONS_H_

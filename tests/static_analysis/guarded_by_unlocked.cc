@@ -1,0 +1,34 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Negative-compile fixture: reads a QPGC_GUARDED_BY member without holding
+// its mutex. Under Clang `-Wthread-safety -Werror` this file MUST fail to
+// compile (ctest asserts the failure via WILL_FAIL); if it ever compiles,
+// the annotation layer has stopped guarding anything. The matching clean
+// version lives in thread_safety_positive.cc.
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    qpgc::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  // THE PLANTED VIOLATION: reading value_ without mu_ held.
+  int UnlockedRead() const { return value_; }
+
+ private:
+  mutable qpgc::Mutex mu_;
+  int value_ QPGC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return counter.UnlockedRead();
+}

@@ -1,0 +1,36 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Negative-compile fixture: calls a QPGC_REQUIRES(mu_) helper without
+// holding mu_. Under Clang `-Wthread-safety -Werror` this file MUST fail
+// to compile (ctest asserts the failure via WILL_FAIL); the matching clean
+// version lives in thread_safety_positive.cc.
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Queue {
+ public:
+  void Push(int v) {
+    qpgc::MutexLock lock(mu_);
+    PushLocked(v);
+  }
+
+  // THE PLANTED VIOLATION: calling the must-hold-lock helper unlocked.
+  void UnlockedPush(int v) { PushLocked(v); }
+
+ private:
+  void PushLocked(int v) QPGC_REQUIRES(mu_) { buffer_[count_++ % 8] = v; }
+
+  qpgc::Mutex mu_;
+  int buffer_[8] QPGC_GUARDED_BY(mu_) = {};
+  int count_ QPGC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Queue queue;
+  queue.UnlockedPush(1);
+  return 0;
+}

@@ -1,6 +1,6 @@
 // Copyright 2026 The QPGC Authors.
 
-#include "inc/update.h"
+#include "graph/update.h"
 
 #include <gtest/gtest.h>
 

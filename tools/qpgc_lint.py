@@ -1,0 +1,287 @@
+#!/usr/bin/env python3
+"""qpgc's architectural lint: the repo-shape rules no compiler checks.
+
+Usage:
+  tools/qpgc_lint.py [ROOT]
+
+Run from ctest (tools/CMakeLists.txt registers it) and from the CI lint
+job; exit status 0 means clean, 1 means violations (one line each, in
+`path:line: [rule] message` form). ROOT defaults to the repository root
+containing this script's parent, so fixture trees (tools/qpgc_lint_test.py)
+can point it anywhere with the same src/-bench/-tests/ layout.
+
+Rules:
+
+  [layering]      src/ modules form a DAG — util -> graph ->
+                  {reach, pattern, bisim, index} -> core -> inc -> serve,
+                  with gen a sibling consumer of graph. A module may
+                  directly include only itself and the modules listed in
+                  ALLOWED_DEPS. In particular the batch layer (graph,
+                  reach, pattern, bisim, core) must never include inc/ —
+                  batch compression cannot depend on incremental
+                  maintenance.
+
+  [read-path]     The serving read path (serve/snapshot, serve/
+                  query_service, serve/router) must not include mutable-
+                  Graph mutation headers (graph/update.h or anything under
+                  inc/): a reader can hold only immutable frozen state.
+
+  [raw-mutex]     std::mutex and the std::lock_guard family may appear
+                  only inside src/util/thread_annotations.h. Everything
+                  else locks through the annotated qpgc::Mutex /
+                  qpgc::MutexLock so Clang Thread Safety Analysis sees it.
+
+  [raw-atomic]    std::atomic<std::shared_ptr<...>> may appear only at the
+                  one documented published-snapshot slot in
+                  serve/snapshot_manager.h (marker-allowlisted below);
+                  every other cross-thread handoff is either immutable
+                  data behind a pinned snapshot or Mutex-guarded.
+
+  [metric-name]   bench::Metric keys: the metric segment (up to the first
+                  '.') is lower_snake_case ([a-z][a-z0-9_]*), so
+                  BENCH_*.json keys stay greppable and bench_diff.py
+                  comparisons stay stable.
+
+  [header-guard]  Every header uses the canonical include guard derived
+                  from its path (QPGC_SERVE_ROUTER_H_ style); #pragma once
+                  is banned for consistency.
+
+  [dup-include]   A file must not include the same header twice.
+
+Escape hatch: a line (or the line directly below a marker-only line)
+containing `qpgc-lint: allow(<rule>)` is exempt from <rule>, but markers
+are honored ONLY in ALLOW_MARKER_FILES — an allow marker anywhere else is
+itself a violation, so exceptions stay enumerable in this file.
+"""
+
+import os
+import re
+import sys
+
+# Module-level layering DAG over src/: module -> modules it may directly
+# include (itself is always allowed). Adding a new src/ subdirectory
+# requires adding it here, which is the point: layering changes are
+# reviewed in this file, not discovered in a cycle later.
+ALLOWED_DEPS = {
+    "util": set(),
+    "graph": {"util"},
+    "bisim": {"graph", "util"},
+    "reach": {"graph", "util"},
+    "pattern": {"graph", "util"},
+    "index": {"graph", "util"},
+    "core": {"bisim", "pattern", "reach", "graph", "util"},
+    "gen": {"graph", "util"},
+    "inc": {"core", "bisim", "pattern", "reach", "graph", "util"},
+    "serve": {"inc", "core", "bisim", "pattern", "reach", "graph", "util"},
+}
+
+# Serving read-path files: may hold only immutable frozen state, so the
+# graph-mutation headers below must never appear in their includes.
+# serve/load_gen and the managers are writer-side by design and exempt.
+READ_PATH_STEMS = {"snapshot", "query_service", "router"}
+MUTATION_HEADERS = re.compile(r'^(graph/update\.h|inc/)')
+
+# Raw synchronization primitives (rule raw-mutex / raw-atomic).
+RAW_MUTEX_RE = re.compile(
+    r'std::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|'
+    r'shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|'
+    r'shared_lock)\b')
+RAW_ATOMIC_RE = re.compile(r'std::atomic\s*<\s*std::(shared|weak)_ptr\b')
+
+# Files in which `qpgc-lint: allow(...)` markers are honored.
+ALLOW_MARKER_FILES = {
+    "src/util/thread_annotations.h",
+    "src/serve/snapshot_manager.h",
+}
+ALLOW_RE = re.compile(r'qpgc-lint:\s*allow\(([a-z-]+)\)')
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+([<"][^">]+[">])')
+METRIC_RE = re.compile(r'\bMetric\(\s*"([^"]*)"')
+METRIC_SEGMENT_RE = re.compile(r'^[a-z][a-z0-9_]*$')
+STRING_RE = re.compile(r'"(?:\\.|[^"\\])*"')
+
+
+def strip_comments_and_strings(line, in_block):
+    """Reduces a source line to code: trims block/line comments and blanks
+    out string literal contents. Returns (code, still_in_block)."""
+    out = []
+    i = 0
+    if in_block:
+        end = line.find("*/")
+        if end < 0:
+            return "", True
+        i = end + 2
+        in_block = False
+    while i < len(line):
+        ch = line[i]
+        if ch == '/' and line[i:i + 2] == "//":
+            break
+        if ch == '/' and line[i:i + 2] == "/*":
+            end = line.find("*/", i + 2)
+            if end < 0:
+                return "".join(out), True
+            i = end + 2
+            continue
+        if ch == '"':
+            m = STRING_RE.match(line, i)
+            if m:
+                out.append('""')
+                i = m.end()
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out), in_block
+
+
+def expected_guard(relpath):
+    stem = relpath[len("src/"):] if relpath.startswith("src/") else relpath
+    return "QPGC_" + re.sub(r'[/.]', '_', stem).upper() + "_"
+
+
+class Linter:
+    def __init__(self, root):
+        self.root = root
+        self.violations = []
+
+    def report(self, relpath, lineno, rule, message):
+        self.violations.append(f"{relpath}:{lineno}: [{rule}] {message}")
+
+    def source_files(self):
+        for top in ("src", "bench", "tests", "tools", "examples"):
+            topdir = os.path.join(self.root, top)
+            for dirpath, _, filenames in os.walk(topdir):
+                for name in sorted(filenames):
+                    if name.endswith((".h", ".cc")):
+                        path = os.path.join(dirpath, name)
+                        yield os.path.relpath(path, self.root)
+
+    def lint_file(self, relpath):
+        with open(os.path.join(self.root, relpath), encoding="utf-8") as f:
+            raw_lines = f.readlines()
+
+        markers_ok = relpath in ALLOW_MARKER_FILES
+        allowed = {}  # line number -> set of rules exempted there
+        for lineno, line in enumerate(raw_lines, start=1):
+            m = ALLOW_RE.search(line)
+            if not m:
+                continue
+            if not markers_ok:
+                self.report(relpath, lineno, "allow-marker",
+                            "allow() markers are honored only in "
+                            + ", ".join(sorted(ALLOW_MARKER_FILES)))
+                continue
+            # A marker exempts its own line; a marker-only comment line
+            # also exempts the line below (for declarations that do not
+            # fit beside the code).
+            allowed.setdefault(lineno, set()).add(m.group(1))
+            if line.lstrip().startswith("//"):
+                allowed.setdefault(lineno + 1, set()).add(m.group(1))
+
+        def is_allowed(lineno, rule):
+            return rule in allowed.get(lineno, set())
+
+        module = None
+        parts = relpath.split("/")
+        if parts[0] == "src" and len(parts) > 2:
+            module = parts[1]
+            if module not in ALLOWED_DEPS:
+                self.report(relpath, 1, "layering",
+                            f"unknown src/ module '{module}': add it to "
+                            "ALLOWED_DEPS in tools/qpgc_lint.py")
+                module = None
+
+        read_path = (parts[0] == "src" and len(parts) > 2
+                     and parts[1] == "serve"
+                     and os.path.splitext(parts[2])[0] in READ_PATH_STEMS)
+
+        seen_includes = {}
+        in_block = False
+        for lineno, raw in enumerate(raw_lines, start=1):
+            code, in_block = strip_comments_and_strings(raw, in_block)
+            if not code.strip():
+                continue
+
+            inc = INCLUDE_RE.match(raw)
+            if inc:
+                target = inc.group(1)
+                if target in seen_includes:
+                    self.report(relpath, lineno, "dup-include",
+                                f"{target} already included on line "
+                                f"{seen_includes[target]}")
+                else:
+                    seen_includes[target] = lineno
+                if target.startswith('"'):
+                    header = target.strip('"')
+                    dep = header.split("/")[0]
+                    if (module is not None and dep != module
+                            and dep in ALLOWED_DEPS
+                            and dep not in ALLOWED_DEPS[module]):
+                        self.report(
+                            relpath, lineno, "layering",
+                            f"src/{module}/ must not include {header} "
+                            f"(allowed: "
+                            f"{', '.join(sorted(ALLOWED_DEPS[module]))})")
+                    if read_path and MUTATION_HEADERS.match(header):
+                        self.report(
+                            relpath, lineno, "read-path",
+                            f"serving read path must not include the "
+                            f"mutation header {header}")
+
+            if "#pragma once" in code:
+                self.report(relpath, lineno, "header-guard",
+                            "#pragma once is banned; use the canonical "
+                            f"guard {expected_guard(relpath)}")
+
+            if RAW_MUTEX_RE.search(code) and not is_allowed(
+                    lineno, "raw-mutex"):
+                self.report(relpath, lineno, "raw-mutex",
+                            "raw std::mutex family is allowed only in "
+                            "src/util/thread_annotations.h; use "
+                            "qpgc::Mutex / qpgc::MutexLock")
+
+            if RAW_ATOMIC_RE.search(code) and not is_allowed(
+                    lineno, "raw-atomic-shared-ptr"):
+                self.report(relpath, lineno, "raw-atomic",
+                            "std::atomic<std::shared_ptr> is allowed only "
+                            "at the documented snapshot slot in "
+                            "src/serve/snapshot_manager.h")
+
+            if parts[0] == "bench":
+                for m in METRIC_RE.finditer(raw):
+                    key = m.group(1)
+                    head = key.split(".", 1)[0]
+                    if not METRIC_SEGMENT_RE.match(head):
+                        self.report(
+                            relpath, lineno, "metric-name",
+                            f'Metric key "{key}": the first dot-segment '
+                            "must be lower_snake_case")
+
+        if relpath.endswith(".h"):
+            guard = expected_guard(relpath)
+            body = "".join(raw_lines)
+            if f"#ifndef {guard}" not in body or f"#define {guard}" not in body:
+                self.report(relpath, 1, "header-guard",
+                            f"missing canonical include guard {guard}")
+
+    def run(self):
+        for relpath in self.source_files():
+            self.lint_file(relpath)
+        return self.violations
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else os.path.normpath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir))
+    linter = Linter(root)
+    violations = linter.run()
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"qpgc_lint: {len(violations)} violation(s)")
+        return 1
+    print("qpgc_lint: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

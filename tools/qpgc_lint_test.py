@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/qpgc_lint.py, runnable standalone or via ctest.
+
+Each test materializes a small fixture tree in a temp directory (same
+src/-bench/ layout the linter expects) and asserts the linter's verdict —
+both that violations are caught with the right rule tag and that a clean
+tree stays clean. This is the guard against the linter rotting into a
+rubber stamp: if a rule stops firing, the corresponding test here fails.
+"""
+
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import qpgc_lint  # noqa: E402
+
+
+GUARDED_HEADER = """\
+#ifndef {guard}
+#define {guard}
+{body}
+#endif  // {guard}
+"""
+
+
+def header(relpath, body=""):
+    return GUARDED_HEADER.format(guard=qpgc_lint.expected_guard(relpath),
+                                 body=body)
+
+
+class LintFixture(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory(prefix="qpgc_lint_test_")
+        self.root = self._tmp.name
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def write(self, relpath, content):
+        path = os.path.join(self.root, relpath)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(content)
+
+    def lint(self):
+        return qpgc_lint.Linter(self.root).run()
+
+    def assert_rule(self, violations, rule, path_fragment):
+        hits = [v for v in violations if f"[{rule}]" in v
+                and path_fragment in v]
+        self.assertTrue(
+            hits, f"expected a [{rule}] violation mentioning "
+            f"{path_fragment}; got: {violations}")
+
+
+class CleanTreeTest(LintFixture):
+    def test_clean_tree_passes(self):
+        self.write("src/util/common.h", header("src/util/common.h"))
+        self.write("src/graph/graph.h", header(
+            "src/graph/graph.h", '#include "util/common.h"\n'))
+        self.write("src/reach/queries.h", header(
+            "src/reach/queries.h", '#include "graph/graph.h"\n'))
+        self.write("src/serve/router.cc",
+                   '#include "reach/queries.h"\n#include <vector>\n')
+        self.write("bench/bench_x.cc", 'Metric("reach_qps.K2", v);\n')
+        self.assertEqual(self.lint(), [])
+
+
+class LayeringTest(LintFixture):
+    def test_batch_layer_including_inc_is_flagged(self):
+        self.write("src/reach/queries.cc", '#include "inc/inc_rcm.h"\n')
+        self.assert_rule(self.lint(), "layering", "src/reach/queries.cc")
+
+    def test_graph_including_serve_is_flagged(self):
+        self.write("src/graph/graph.cc",
+                   '#include "serve/snapshot.h"\n')
+        self.assert_rule(self.lint(), "layering", "src/graph/graph.cc")
+
+    def test_unknown_module_is_flagged(self):
+        self.write("src/cache/cache.h", header("src/cache/cache.h"))
+        self.assert_rule(self.lint(), "layering", "src/cache/cache.h")
+
+    def test_commented_include_is_ignored(self):
+        self.write("src/reach/queries.cc",
+                   '// #include "inc/inc_rcm.h"\n#include <vector>\n')
+        self.assertEqual(self.lint(), [])
+
+
+class ReadPathTest(LintFixture):
+    def test_router_including_update_header_is_flagged(self):
+        self.write("src/serve/router.cc", '#include "graph/update.h"\n')
+        self.assert_rule(self.lint(), "read-path", "src/serve/router.cc")
+
+    def test_router_including_inc_is_flagged(self):
+        self.write("src/serve/query_service.cc",
+                   '#include "inc/inc_rcm.h"\n')
+        self.assert_rule(self.lint(), "read-path",
+                         "src/serve/query_service.cc")
+
+    def test_writer_side_manager_may_mutate(self):
+        self.write("src/serve/snapshot_manager.cc",
+                   '#include "graph/update.h"\n')
+        self.assertEqual(self.lint(), [])
+
+
+class RawPrimitiveTest(LintFixture):
+    def test_raw_mutex_is_flagged(self):
+        self.write("src/serve/cache.cc",
+                   "#include <mutex>\nstd::mutex mu;\n")
+        self.assert_rule(self.lint(), "raw-mutex", "src/serve/cache.cc")
+
+    def test_raw_lock_guard_is_flagged(self):
+        self.write("src/graph/pool.cc",
+                   "std::lock_guard<qpgc::Mutex> lock(mu);\n")
+        self.assert_rule(self.lint(), "raw-mutex", "src/graph/pool.cc")
+
+    def test_raw_atomic_shared_ptr_is_flagged(self):
+        self.write("src/serve/slot.h", header(
+            "src/serve/slot.h",
+            "std::atomic<std::shared_ptr<int>> slot;\n"))
+        self.assert_rule(self.lint(), "raw-atomic", "src/serve/slot.h")
+
+    def test_mention_in_comment_is_ignored(self):
+        self.write("src/serve/slot.cc",
+                   "// the std::mutex fallback (std::atomic<std::shared_ptr"
+                   "<T>> elsewhere)\nint x;\n")
+        self.assertEqual(self.lint(), [])
+
+    def test_allow_marker_outside_allowlist_is_flagged(self):
+        self.write("src/graph/pool.cc",
+                   "std::mutex mu;  // qpgc-lint: allow(raw-mutex)\n")
+        violations = self.lint()
+        self.assert_rule(violations, "allow-marker", "src/graph/pool.cc")
+        self.assert_rule(violations, "raw-mutex", "src/graph/pool.cc")
+
+    def test_allow_marker_in_allowlisted_file_is_honored(self):
+        self.write("src/util/thread_annotations.h", header(
+            "src/util/thread_annotations.h",
+            "#include <mutex>  // qpgc-lint: allow(raw-mutex)\n"
+            "class Mutex { std::mutex mu_; };"
+            "  // qpgc-lint: allow(raw-mutex)\n"))
+        self.assertEqual(self.lint(), [])
+
+
+class MetricNameTest(LintFixture):
+    def test_camel_case_metric_is_flagged(self):
+        self.write("bench/bench_x.cc", 'Metric("ReachQps", v);\n')
+        self.assert_rule(self.lint(), "metric-name", "bench/bench_x.cc")
+
+    def test_dataset_suffix_may_be_camel_case(self):
+        self.write("bench/bench_x.cc", 'Metric("rcr.socEpinions", v);\n')
+        self.assertEqual(self.lint(), [])
+
+
+class HeaderHygieneTest(LintFixture):
+    def test_wrong_guard_is_flagged(self):
+        self.write("src/graph/csr.h",
+                   "#ifndef WRONG_H_\n#define WRONG_H_\n#endif\n")
+        self.assert_rule(self.lint(), "header-guard", "src/graph/csr.h")
+
+    def test_pragma_once_is_flagged(self):
+        self.write("src/graph/csr.h", "#pragma once\nint x;\n")
+        self.assert_rule(self.lint(), "header-guard", "src/graph/csr.h")
+
+    def test_duplicate_include_is_flagged(self):
+        self.write("src/graph/csr.cc",
+                   "#include <vector>\n#include <vector>\n")
+        self.assert_rule(self.lint(), "dup-include", "src/graph/csr.cc")
+
+
+class RepositoryIsCleanTest(unittest.TestCase):
+    """The real tree must satisfy its own lint (the ctest gate in spirit:
+    a violation fails here AND in the dedicated lint test)."""
+
+    def test_repo_lint_is_clean(self):
+        repo_root = os.path.normpath(os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), os.pardir))
+        violations = qpgc_lint.Linter(repo_root).run()
+        self.assertEqual(violations, [])
+
+
+if __name__ == "__main__":
+    unittest.main()
