@@ -10,6 +10,7 @@
 
 #include "reach/compress_r.h"
 #include "reach/queries.h"
+#include "util/lifetime_annotations.h"
 
 namespace qpgc {
 
@@ -34,8 +35,8 @@ class ReachabilityPreservingCompression {
   }
 
   /// The compression artifact (Gr, node map, member index, ranks).
-  const ReachCompression& artifact() const { return rc_; }
-  ReachCompression& mutable_artifact() { return rc_; }
+  const ReachCompression& artifact() const QPGC_LIFETIME_BOUND { return rc_; }
+  ReachCompression& mutable_artifact() QPGC_LIFETIME_BOUND { return rc_; }
 
   double CompressionRatio() const { return rc_.CompressionRatio(); }
 

@@ -23,11 +23,15 @@
 #include "graph/graph_view.h"
 #include "graph/traversal.h"
 #include "util/common.h"
+#include "util/lifetime_annotations.h"
 
 namespace qpgc {
 
 /// Immutable CSR snapshot of a Graph (both directions, labels copied).
-class CsrGraph {
+/// GSL Owner: neighbor spans point into the flat arrays this object owns —
+/// valid until it is destroyed or refrozen (docs/LIFETIMES.md; the serving
+/// layer keeps them valid by pinning the enclosing frozen side).
+class QPGC_GSL_OWNER CsrGraph {
  public:
   /// An empty snapshot (0 nodes); a buffer to Refreeze into later.
   CsrGraph();
@@ -60,12 +64,12 @@ class CsrGraph {
   /// Graph size |G| = |V| + |E| (the paper's measure).
   size_t size() const { return num_nodes() + num_edges(); }
 
-  std::span<const NodeId> OutNeighbors(NodeId u) const {
+  std::span<const NodeId> OutNeighbors(NodeId u) const QPGC_LIFETIME_BOUND {
     QPGC_DCHECK(u + 1 < out_offsets_.size());
     return {out_targets_.data() + out_offsets_[u],
             out_targets_.data() + out_offsets_[u + 1]};
   }
-  std::span<const NodeId> InNeighbors(NodeId u) const {
+  std::span<const NodeId> InNeighbors(NodeId u) const QPGC_LIFETIME_BOUND {
     QPGC_DCHECK(u + 1 < in_offsets_.size());
     return {in_targets_.data() + in_offsets_[u],
             in_targets_.data() + in_offsets_[u + 1]};
@@ -82,7 +86,9 @@ class CsrGraph {
   bool HasEdge(NodeId u, NodeId v) const { return ViewHasEdge(*this, u, v); }
 
   Label label(NodeId u) const { return labels_[u]; }
-  const std::vector<Label>& labels() const { return labels_; }
+  const std::vector<Label>& labels() const QPGC_LIFETIME_BOUND {
+    return labels_;
+  }
 
   /// Number of distinct labels present (kNoLabel counts as one value if any
   /// node is unlabeled).

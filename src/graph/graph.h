@@ -23,11 +23,14 @@
 #include <vector>
 
 #include "util/common.h"
+#include "util/lifetime_annotations.h"
 
 namespace qpgc {
 
-/// A labeled directed graph with dynamic adjacency.
-class Graph {
+/// A labeled directed graph with dynamic adjacency. GSL Owner: the span /
+/// reference accessors below hand out views into storage this object owns,
+/// valid only while it lives and is not mutated (docs/LIFETIMES.md).
+class QPGC_GSL_OWNER Graph {
  public:
   Graph() = default;
 
@@ -63,13 +66,14 @@ class Graph {
   /// True iff edge (u, v) exists.
   bool HasEdge(NodeId u, NodeId v) const;
 
-  /// Out-neighbors of u, sorted ascending.
-  std::span<const NodeId> OutNeighbors(NodeId u) const {
+  /// Out-neighbors of u, sorted ascending. The run is invalidated by any
+  /// later mutation of u's adjacency (AddEdge/RemoveEdge reallocate).
+  std::span<const NodeId> OutNeighbors(NodeId u) const QPGC_LIFETIME_BOUND {
     QPGC_DCHECK(u < out_.size());
     return out_[u];
   }
-  /// In-neighbors of u, sorted ascending.
-  std::span<const NodeId> InNeighbors(NodeId u) const {
+  /// In-neighbors of u, sorted ascending (same invalidation contract).
+  std::span<const NodeId> InNeighbors(NodeId u) const QPGC_LIFETIME_BOUND {
     QPGC_DCHECK(u < in_.size());
     return in_[u];
   }
@@ -87,7 +91,9 @@ class Graph {
     QPGC_DCHECK(u < labels_.size());
     labels_[u] = l;
   }
-  const std::vector<Label>& labels() const { return labels_; }
+  const std::vector<Label>& labels() const QPGC_LIFETIME_BOUND {
+    return labels_;
+  }
 
   /// Number of distinct labels present (kNoLabel counts as one value if any
   /// node is unlabeled).

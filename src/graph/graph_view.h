@@ -37,6 +37,7 @@
 #include <unordered_set>
 
 #include "util/common.h"
+#include "util/lifetime_annotations.h"
 
 namespace qpgc {
 
@@ -91,10 +92,14 @@ size_t CountDistinctLabels(const G& g) {
 /// ReversedView(g) computes its in-edge-driven dual without copying or
 /// reversing the graph — backward k-bisimulation (the A(k)-index
 /// equivalence) is exactly forward refinement over this view.
+///
+/// GSL Pointer: a non-owning view over `g`, which must outlive it —
+/// constructing one over a temporary graph is a compile error under Clang
+/// (docs/LIFETIMES.md).
 template <GraphView G>
-class ReversedView {
+class QPGC_GSL_POINTER ReversedView {
  public:
-  explicit ReversedView(const G& g) : g_(&g) {}
+  explicit ReversedView(const G& g QPGC_LIFETIME_BOUND) : g_(&g) {}
 
   size_t num_nodes() const { return g_->num_nodes(); }
   size_t num_edges() const { return g_->num_edges(); }

@@ -45,6 +45,7 @@
 #include "graph/graph.h"
 #include "graph/graph_view.h"
 #include "util/common.h"
+#include "util/lifetime_annotations.h"
 
 namespace qpgc {
 
@@ -119,11 +120,15 @@ struct ShardPartition {
 /// Out-adjacency is zero-copy (spans into the base view); in-adjacency is
 /// compacted into the view at construction (one O(|V| + |E_shard|) pass —
 /// a filtered subset of base in-runs cannot be exposed as a span). The view
-/// references the base view and the partition; both must outlive it.
+/// references the base view and the partition; both must outlive it — GSL
+/// Pointer plus the lifetimebound constructor parameters make constructing
+/// one over a temporary base or partition a compile error under Clang
+/// (docs/LIFETIMES.md).
 template <GraphView G>
-class ShardView {
+class QPGC_GSL_POINTER ShardView {
  public:
-  ShardView(const G& base, const ShardPartition& part, uint32_t shard)
+  ShardView(const G& base QPGC_LIFETIME_BOUND,
+            const ShardPartition& part QPGC_LIFETIME_BOUND, uint32_t shard)
       : base_(&base), part_(&part), shard_(shard) {
     QPGC_CHECK(shard < part.num_shards);
     QPGC_CHECK(base.num_nodes() == part.num_nodes());
@@ -155,11 +160,11 @@ class ShardView {
   size_t num_nodes() const { return base_->num_nodes(); }
   size_t num_edges() const { return num_edges_; }
 
-  std::span<const NodeId> OutNeighbors(NodeId u) const {
+  std::span<const NodeId> OutNeighbors(NodeId u) const QPGC_LIFETIME_BOUND {
     if (part_->shard_of[u] != shard_) return {};
     return base_->OutNeighbors(u);
   }
-  std::span<const NodeId> InNeighbors(NodeId u) const {
+  std::span<const NodeId> InNeighbors(NodeId u) const QPGC_LIFETIME_BOUND {
     return {in_targets_.data() + in_offsets_[u],
             in_targets_.data() + in_offsets_[u + 1]};
   }

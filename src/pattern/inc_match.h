@@ -25,6 +25,7 @@
 #include "graph/update.h"
 #include "pattern/match.h"
 #include "pattern/pattern.h"
+#include "util/lifetime_annotations.h"
 
 namespace qpgc {
 
@@ -41,7 +42,7 @@ class IncBMatch {
   void Update(const UpdateBatch& effective);
 
   /// Current maximum match.
-  const MatchResult& result() const { return result_; }
+  const MatchResult& result() const QPGC_LIFETIME_BOUND { return result_; }
 
  private:
   const Graph* g_;

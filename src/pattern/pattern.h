@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "util/common.h"
+#include "util/lifetime_annotations.h"
 
 namespace qpgc {
 
@@ -54,13 +55,22 @@ class PatternQuery {
   size_t num_nodes() const { return labels_.size(); }
   size_t num_edges() const { return edges_.size(); }
   Label label(uint32_t u) const { return labels_[u]; }
-  const PatternEdge& edge(uint32_t e) const { return edges_[e]; }
-  const std::vector<PatternEdge>& edges() const { return edges_; }
+  const PatternEdge& edge(uint32_t e) const QPGC_LIFETIME_BOUND {
+    return edges_[e];
+  }
+  const std::vector<PatternEdge>& edges() const QPGC_LIFETIME_BOUND {
+    return edges_;
+  }
   /// Ids of edges leaving pattern node u.
-  const std::vector<uint32_t>& out_edges(uint32_t u) const { return out_[u]; }
+  const std::vector<uint32_t>& out_edges(uint32_t u) const
+      QPGC_LIFETIME_BOUND {
+    return out_[u];
+  }
   /// Ids of edges entering pattern node u (edges whose target is u). The
   /// Match worklist uses this for O(in-degree) re-enqueue when S(u) shrinks.
-  const std::vector<uint32_t>& in_edges(uint32_t u) const { return in_[u]; }
+  const std::vector<uint32_t>& in_edges(uint32_t u) const QPGC_LIFETIME_BOUND {
+    return in_[u];
+  }
 
   /// True iff every bound is 1 (plain graph simulation [12]).
   bool IsSimulationPattern() const {

@@ -10,6 +10,7 @@
 #include "graph/topology.h"
 #include "util/bitset.h"
 #include "util/hash.h"
+#include "util/lifetime_annotations.h"
 
 namespace qpgc {
 
@@ -18,9 +19,9 @@ namespace {
 // Key for refinement: (current class, exact row bytes). Keying on the exact
 // bytes (not a hash of them) guarantees no two distinct profiles ever land in
 // the same class.
-struct RefineKey {
+struct QPGC_GSL_POINTER RefineKey {
   NodeId cls;
-  std::string_view bytes;
+  std::string_view bytes;  // borrows the row storage of the BitMatrix
   bool operator==(const RefineKey& o) const {
     return cls == o.cls && bytes == o.bytes;
   }

@@ -58,6 +58,7 @@
 #include "pattern/pattern.h"
 #include "serve/sharded_manager.h"
 #include "serve/snapshot.h"
+#include "util/lifetime_annotations.h"
 #include "util/thread_annotations.h"
 
 namespace qpgc {
@@ -115,14 +116,19 @@ class PinnedShards {
   bool BooleanMatch(const PatternQuery& q) const;
 
   /// Shard s's pinned snapshot / the partition (for direct shard-local
-  /// access and stats).
-  const ServingSnapshot& shard(uint32_t s) const { return *snaps_[s]; }
+  /// access and stats). Valid while this pin lives — the pin-scope rule of
+  /// docs/LIFETIMES.md applies to the whole version vector at once.
+  const ServingSnapshot& shard(uint32_t s) const QPGC_LIFETIME_BOUND {
+    return *snaps_[s];
+  }
   uint32_t num_shards() const { return part_->num_shards; }
-  const ShardPartition& partition() const { return *part_; }
+  const ShardPartition& partition() const QPGC_LIFETIME_BOUND {
+    return *part_;
+  }
 
   /// The stitched pattern quotient for this version vector (built on first
   /// use, then cached for the pin's lifetime; thread-safe).
-  const StitchedPatternQuotient& stitched() const;
+  const StitchedPatternQuotient& stitched() const QPGC_LIFETIME_BOUND;
 
  private:
   std::shared_ptr<const ShardPartition> part_;

@@ -47,6 +47,7 @@
 
 #include "graph/shard_view.h"
 #include "serve/snapshot_manager.h"
+#include "util/lifetime_annotations.h"
 
 namespace qpgc {
 
@@ -112,14 +113,18 @@ class ShardedSnapshotManager {
   std::vector<std::shared_ptr<const ServingSnapshot>> AcquireAll() const;
 
   uint32_t num_shards() const { return part_->num_shards; }
-  const ShardPartition& partition() const { return *part_; }
+  const ShardPartition& partition() const QPGC_LIFETIME_BOUND {
+    return *part_;
+  }
   /// Shared handle for routers/pins that may outlive the manager.
   std::shared_ptr<const ShardPartition> partition_ptr() const { return part_; }
 
   /// Per-shard manager access (writer-side; same threading contract as the
   /// writer entry points above).
-  SnapshotManager& shard(uint32_t s) { return *shards_[s]; }
-  const SnapshotManager& shard(uint32_t s) const { return *shards_[s]; }
+  SnapshotManager& shard(uint32_t s) QPGC_LIFETIME_BOUND { return *shards_[s]; }
+  const SnapshotManager& shard(uint32_t s) const QPGC_LIFETIME_BOUND {
+    return *shards_[s];
+  }
 
  private:
   // Live cross-shard edge counts into each ghost node. Written only by the

@@ -33,6 +33,13 @@
 //    shared_ptr for the duration of a query; the snapshot (and its shared
 //    sides) stay valid for as long as any handle lives, across any number
 //    of later publishes and even past the owning manager's destruction.
+//
+// Lifetime contract: every span/reference accessor below hands out a view
+// into this snapshot's frozen sides, valid only while a pin on the snapshot
+// is held (the pin-scope rule, docs/LIFETIMES.md). The accessors are
+// lifetimebound-annotated and tools/qpgc_pin_escape.py rejects the escape
+// shapes the annotations cannot see (dereferencing an unnamed pin, storing
+// a snapshot-derived view in a member).
 
 #ifndef QPGC_SERVE_SNAPSHOT_H_
 #define QPGC_SERVE_SNAPSHOT_H_
@@ -48,6 +55,7 @@
 #include "pattern/pattern.h"
 #include "reach/compress_r.h"
 #include "reach/queries.h"
+#include "util/lifetime_annotations.h"
 
 namespace qpgc {
 
@@ -92,7 +100,7 @@ struct FrozenPatternSide {
   std::vector<std::pair<NodeId, NodeId>> cross_edges;
 
   /// Members of compact block c, ascending.
-  std::span<const NodeId> block_members(NodeId c) const {
+  std::span<const NodeId> block_members(NodeId c) const QPGC_LIFETIME_BOUND {
     return {member_flat.data() + member_offsets[c],
             member_flat.data() + member_offsets[c + 1]};
   }
@@ -177,29 +185,32 @@ class ServingSnapshot {
 
   /// The frozen reachability quotient (for stats / direct sweeps). Like
   /// every accessor below, only valid on a frozen/adopted snapshot (never
-  /// on the default-constructed buffer state).
-  const CsrGraph& reach_gr() const {
+  /// on the default-constructed buffer state), and — the pin-scope rule —
+  /// only while a pin on this snapshot is held.
+  const CsrGraph& reach_gr() const QPGC_LIFETIME_BOUND {
     QPGC_DCHECK(reach_ != nullptr);
     return reach_->gr;
   }
   /// The frozen bisimulation quotient (owned blocks only — see
   /// FrozenPatternSide).
-  const CsrGraph& pattern_gr() const {
+  const CsrGraph& pattern_gr() const QPGC_LIFETIME_BOUND {
     QPGC_DCHECK(pattern_ != nullptr);
     return pattern_->gr;
   }
   /// Block map, member index, and ghost-directed cross edges of the frozen
   /// bisimulation quotient (what the router's stitched cross-shard quotient
   /// is built from). pattern_map() maps ghost nodes to kInvalidNode.
-  const std::vector<NodeId>& pattern_map() const {
+  const std::vector<NodeId>& pattern_map() const QPGC_LIFETIME_BOUND {
     QPGC_DCHECK(pattern_ != nullptr);
     return pattern_->node_map;
   }
-  std::span<const NodeId> pattern_block_members(NodeId block) const {
+  std::span<const NodeId> pattern_block_members(NodeId block) const
+      QPGC_LIFETIME_BOUND {
     QPGC_DCHECK(pattern_ != nullptr);
     return pattern_->block_members(block);
   }
-  const std::vector<std::pair<NodeId, NodeId>>& pattern_cross_edges() const {
+  const std::vector<std::pair<NodeId, NodeId>>& pattern_cross_edges() const
+      QPGC_LIFETIME_BOUND {
     QPGC_DCHECK(pattern_ != nullptr);
     return pattern_->cross_edges;
   }
@@ -214,7 +225,7 @@ class ServingSnapshot {
   /// Boundary-exit nodes of this shard at this version, sorted ascending:
   /// ghost nodes with at least one in-edge inside the shard. Empty for
   /// unsharded serving.
-  const std::vector<NodeId>& boundary_exits() const;
+  const std::vector<NodeId>& boundary_exits() const QPGC_LIFETIME_BOUND;
 
   /// Heap bytes held by this snapshot. Shared sides are counted in full in
   /// every snapshot that references them (per-handle accounting, not

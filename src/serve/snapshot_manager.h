@@ -59,6 +59,7 @@
 #include "inc/inc_rcm.h"
 #include "reach/compress_r.h"
 #include "serve/snapshot.h"
+#include "util/lifetime_annotations.h"
 #include "util/thread_annotations.h"
 #include "util/timer.h"
 
@@ -191,10 +192,14 @@ class SnapshotManager {
   PublishStats Publish(FreezeMode mode = FreezeMode::kAuto);
 
   /// The mutable source of truth (writer-side inspection).
-  const Graph& graph() const { return g_; }
+  const Graph& graph() const QPGC_LIFETIME_BOUND { return g_; }
   /// The maintained artifacts the next Publish() will freeze.
-  const ReachCompression& reach_artifact() const { return rc_; }
-  const PatternCompression& pattern_artifact() const { return pc_; }
+  const ReachCompression& reach_artifact() const QPGC_LIFETIME_BOUND {
+    return rc_;
+  }
+  const PatternCompression& pattern_artifact() const QPGC_LIFETIME_BOUND {
+    return pc_;
+  }
 
   /// Version of the latest published snapshot.
   uint64_t published_version() const { return version_; }
@@ -204,14 +209,21 @@ class SnapshotManager {
   double staleness_secs() const { return staleness_timer_.ElapsedSeconds(); }
   /// Accumulated dirty-cone stats since the last publish (for policies, and
   /// what Publish() keys the per-side freeze skip on).
-  const IncRcmStats& pending_rcm_stats() const { return pending_rcm_; }
-  const IncPcmStats& pending_pcm_stats() const { return pending_pcm_; }
+  const IncRcmStats& pending_rcm_stats() const QPGC_LIFETIME_BOUND {
+    return pending_rcm_;
+  }
+  const IncPcmStats& pending_pcm_stats() const QPGC_LIFETIME_BOUND {
+    return pending_pcm_;
+  }
 
   // --- Read side (any thread) -----------------------------------------------
 
   /// Pins and returns the current published snapshot. Never null. The
   /// snapshot stays valid (and immutable) for as long as the returned
-  /// handle lives, across any number of later publishes.
+  /// handle lives, across any number of later publishes. Bind the handle
+  /// to a named local and keep everything borrowed through it inside that
+  /// local's scope — the pin-scope rule (docs/LIFETIMES.md), enforced by
+  /// tools/qpgc_pin_escape.py.
   std::shared_ptr<const ServingSnapshot> Acquire() const;
 
  private:

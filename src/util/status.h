@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "util/common.h"
+#include "util/lifetime_annotations.h"
 
 namespace qpgc {
 
@@ -46,7 +47,7 @@ class Status {
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  const std::string& message() const QPGC_LIFETIME_BOUND { return message_; }
 
   /// "OK" or "<code>: <message>".
   std::string ToString() const;
@@ -66,13 +67,13 @@ class Result {
   }
 
   bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  const Status& status() const QPGC_LIFETIME_BOUND { return status_; }
 
-  const T& value() const& {
+  const T& value() const& QPGC_LIFETIME_BOUND {
     QPGC_CHECK(status_.ok());
     return value_;
   }
-  T& value() & {
+  T& value() & QPGC_LIFETIME_BOUND {
     QPGC_CHECK(status_.ok());
     return value_;
   }

@@ -1,0 +1,25 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Negative-compile fixture: constructs a QPGC_GSL_POINTER view
+// (ReversedView) over a QPGC_GSL_OWNER temporary (Graph). The owner is
+// destroyed at the end of the full expression; the view's first use reads
+// freed adjacency. Under Clang with -Werror=dangling-gsl this file MUST
+// fail to compile (ctest asserts the failure via WILL_FAIL); if it ever
+// compiles, the Owner/Pointer annotations have stopped biting. The
+// matching clean version lives in lifetime_positive.cc.
+
+#include "graph/graph.h"
+#include "graph/graph_view.h"
+
+namespace {
+
+qpgc::Graph MakeGraph() { return qpgc::Graph(3); }
+
+}  // namespace
+
+int main() {
+  // THE PLANTED DANGLE: a zero-copy view over a graph that no longer
+  // exists on the next line.
+  const qpgc::ReversedView<qpgc::Graph> rv(MakeGraph());
+  return static_cast<int>(rv.OutNeighbors(0).size());
+}

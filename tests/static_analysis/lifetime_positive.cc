@@ -1,0 +1,55 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Positive control for the lifetime negative-compile tests: the same API
+// surface as the three violation fixtures, but with every owner named and
+// outliving its views. This file MUST compile cleanly under Clang with
+// -Werror=dangling -Werror=dangling-gsl -Werror=return-stack-address — it
+// proves the lifetimebound / GSL Owner+Pointer annotations
+// (src/util/lifetime_annotations.h) are well-formed and do not reject the
+// repo's safe idioms, so a failure in the sibling fixtures can only come
+// from the lifetime analysis catching the planted dangle.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_view.h"
+#include "util/status.h"
+
+namespace {
+
+qpgc::Graph MakeGraph() { return qpgc::Graph(3); }
+
+qpgc::Status MakeStatus() {
+  return qpgc::Status::InvalidArgument("planted");
+}
+
+// Views over a parameter the caller owns: fine, and the annotation must
+// not reject it.
+size_t SumDegrees(const qpgc::Graph& g) {
+  size_t total = 0;
+  for (qpgc::NodeId u = 0; u < g.num_nodes(); ++u) {
+    std::span<const qpgc::NodeId> run = g.OutNeighbors(u);
+    total += run.size();
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  // Owner named first; every handle below is tied to it.
+  const qpgc::Graph g = MakeGraph();
+  std::span<const qpgc::NodeId> out = g.OutNeighbors(0);
+  const std::vector<qpgc::Label>& labels = g.labels();
+  const qpgc::ReversedView<qpgc::Graph> rv(g);
+
+  const qpgc::Status status = MakeStatus();
+  const std::string& message = status.message();
+
+  return (out.size() + labels.size() + rv.num_edges() + message.size() +
+          SumDegrees(g)) > 0
+             ? 0
+             : 1;
+}

@@ -1,0 +1,32 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Negative-compile fixture: binds handles returned by QPGC_LIFETIME_BOUND
+// accessors to temporaries that die at the end of the full expression.
+// Under Clang with -Werror=dangling this file MUST fail to compile (ctest
+// asserts the failure via WILL_FAIL); if it ever compiles, the
+// lifetimebound annotations on the accessor surface have stopped biting.
+// The matching clean version lives in lifetime_positive.cc.
+
+#include <span>
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace {
+
+qpgc::Graph MakeGraph() { return qpgc::Graph(3); }
+
+qpgc::Status MakeStatus() {
+  return qpgc::Status::InvalidArgument("planted");
+}
+
+}  // namespace
+
+int main() {
+  // THE PLANTED DANGLES: the Graph / Status temporaries are destroyed
+  // before the reference and the span are ever read.
+  const std::string& message = MakeStatus().message();
+  std::span<const qpgc::NodeId> out = MakeGraph().OutNeighbors(0);
+  return static_cast<int>(message.size() + out.size());
+}

@@ -1,0 +1,40 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Positive control for the pin-escape analyzer fixtures: every idiom the
+// serving layer actually uses, written the safe way. The analyzer
+// (tools/qpgc_pin_escape.py --files) MUST report this file clean; if a
+// rule starts flagging any shape here it has rotted into noise. The three
+// sibling fixtures each plant one escape and MUST be flagged (ctest
+// registers them WILL_FAIL). These fixtures are analyzed textually, never
+// compiled — qpgc_lint.py skips this directory (SKIP_DIRS) because the
+// siblings plant exactly what it bans.
+
+#include "serve/query_service.h"
+#include "serve/snapshot_manager.h"
+
+namespace qpgc {
+
+// A pin bound by value covers every view derived from it.
+size_t NamedPinViews(const SnapshotManager& mgr) {
+  const auto snap = mgr.Acquire();
+  const CsrGraph& gr = snap->reach_gr();
+  std::span<const NodeId> members = snap->pattern_block_members(0);
+  return gr.num_nodes() + members.size();
+}
+
+// Value results through a pin temporary are safe: the pin lives for the
+// whole full expression, and nothing borrowed survives it.
+bool ValueThroughTemporary(const QueryService& svc, NodeId u, NodeId v) {
+  return svc.Pin()->Reach(u, v, PathMode::kNonEmpty);
+}
+
+uint64_t VersionThroughTemporary(const SnapshotManager& mgr) {
+  return mgr.Acquire()->version();
+}
+
+// Borrowing from a parameter the caller owns is the caller's contract.
+std::span<const NodeId> FirstRun(const CsrGraph& gr) {
+  return gr.OutNeighbors(0);
+}
+
+}  // namespace qpgc

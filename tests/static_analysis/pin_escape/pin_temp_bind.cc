@@ -1,0 +1,32 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Planted [pin-escape] violations: references and views bound through a
+// pin *temporary*. The shared_ptr returned by Acquire()/Pin() dies at the
+// end of each full expression, so every handle below reads retired buffers
+// on first use — exactly the shape Clang cannot see (lifetime extension
+// does not flow through operator->, and libstdc++'s shared_ptr is not
+// lifetimebound-annotated). tools/qpgc_pin_escape.py MUST flag all three;
+// ctest runs it over this file WILL_FAIL. The clean version of each shape
+// is in clean_control.cc.
+
+#include "serve/query_service.h"
+#include "serve/snapshot_manager.h"
+
+namespace qpgc {
+
+size_t EscapedReference(const SnapshotManager& mgr) {
+  const auto& gr = mgr.Acquire()->reach_gr();
+  return gr.num_nodes();
+}
+
+size_t EscapedSpan(const SnapshotManager& mgr) {
+  std::span<const NodeId> members = mgr.Acquire()->pattern_block_members(0);
+  return members.size();
+}
+
+size_t EscapedSpanCopy(const QueryService& svc) {
+  auto members = svc.Pin()->pattern_block_members(0);
+  return members.size();
+}
+
+}  // namespace qpgc

@@ -1,0 +1,26 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Planted [return-local-view] violation: a span constructed over a
+// function-local owner and returned. -Wreturn-stack-address catches
+// `return local;`; the span wrapped around the local is invisible to the
+// compiler, which is exactly the gap this analyzer rule fills.
+// tools/qpgc_pin_escape.py MUST flag it; ctest runs it over this file
+// WILL_FAIL. The clean shapes (return the owner by value, or view a
+// parameter) are in clean_control.cc.
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace qpgc {
+
+std::span<const NodeId> BoundaryExits(const CsrGraph& gr) {
+  std::vector<NodeId> exits;
+  for (NodeId u = 0; u < gr.num_nodes(); ++u) {
+    if (gr.OutDegree(u) == 0) exits.push_back(u);
+  }
+  return std::span<const NodeId>(exits);
+}
+
+}  // namespace qpgc

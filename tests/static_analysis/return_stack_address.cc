@@ -1,0 +1,26 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Negative-compile fixture: returns a reference obtained through a
+// QPGC_LIFETIME_BOUND accessor on a function-local owner. The local dies
+// at return; lifetimebound is what lets Clang see through the accessor
+// call and diagnose it under -Werror=return-stack-address. This file MUST
+// fail to compile (ctest asserts the failure via WILL_FAIL); if it ever
+// compiles, the annotation has stopped propagating. The matching clean
+// version lives in lifetime_positive.cc.
+
+#include <string>
+
+#include "util/status.h"
+
+namespace {
+
+// THE PLANTED DANGLE: message() borrows from `status`, which is destroyed
+// at return.
+const std::string& LeakedMessage() {
+  const qpgc::Status status = qpgc::Status::IoError("planted");
+  return status.message();
+}
+
+}  // namespace
+
+int main() { return static_cast<int>(LeakedMessage().size()); }

@@ -37,6 +37,18 @@ Rules:
                   every other cross-thread handoff is either immutable
                   data behind a pinned snapshot or Mutex-guarded.
 
+  [pin-ref]       `auto&` / `const auto&` / `auto&&` must not bind the
+                  result of Pin() / Acquire() / AcquireAll(). Binding the
+                  bare handle is merely misleading (lifetime extension
+                  keeps it alive, but reads as if a reference pins
+                  anything); binding through `->` dangles. Either way the
+                  idiom is banned: bind pins by value
+                  (`const auto snap = svc.Pin();`). The deeper lifetime
+                  shapes are tools/qpgc_pin_escape.py's job — this rule is
+                  the cheap line-local subset. Fixture trees under
+                  tests/static_analysis/pin_escape/ plant violations on
+                  purpose and are skipped (SKIP_DIRS).
+
   [metric-name]   bench::Metric keys: the metric segment (up to the first
                   '.') is lower_snake_case ([a-z][a-z0-9_]*), so
                   BENCH_*.json keys stay greppable and bench_diff.py
@@ -80,6 +92,15 @@ ALLOWED_DEPS = {
 # serve/load_gen and the managers are writer-side by design and exempt.
 READ_PATH_STEMS = {"snapshot", "query_service", "router"}
 MUTATION_HEADERS = re.compile(r'^(graph/update\.h|inc/)')
+
+# Reference-bound pin handles (rule pin-ref): an auto reference whose
+# initializer ends in a pin-producer call, possibly dereferenced further.
+PIN_REF_RE = re.compile(
+    r'\bauto\s*&&?\s*\w+\s*=\s*[^;=]*\b(?:Pin|Acquire|AcquireAll)\s*\(\s*\)')
+
+# Directories whose files are deliberately-broken analyzer fixtures; the
+# lint walking them would report the planted bugs it exists to plant.
+SKIP_DIRS = {"tests/static_analysis/pin_escape"}
 
 # Raw synchronization primitives (rule raw-mutex / raw-atomic).
 RAW_MUTEX_RE = re.compile(
@@ -153,7 +174,13 @@ class Linter:
                 for name in sorted(filenames):
                     if name.endswith((".h", ".cc")):
                         path = os.path.join(dirpath, name)
-                        yield os.path.relpath(path, self.root)
+                        relpath = os.path.relpath(path, self.root)
+                        reldir = os.path.dirname(relpath).replace(
+                            os.sep, "/")
+                        if any(reldir == d or reldir.startswith(d + "/")
+                               for d in SKIP_DIRS):
+                            continue
+                        yield relpath
 
     def lint_file(self, relpath):
         with open(os.path.join(self.root, relpath), encoding="utf-8") as f:
@@ -238,6 +265,14 @@ class Linter:
                             "raw std::mutex family is allowed only in "
                             "src/util/thread_annotations.h; use "
                             "qpgc::Mutex / qpgc::MutexLock")
+
+            if PIN_REF_RE.search(code) and not is_allowed(
+                    lineno, "pin-ref"):
+                self.report(relpath, lineno, "pin-ref",
+                            "auto& must not bind a Pin()/Acquire()/"
+                            "AcquireAll() result; bind the pin by value "
+                            "(const auto snap = ...) so its scope is "
+                            "explicit — see docs/LIFETIMES.md")
 
             if RAW_ATOMIC_RE.search(code) and not is_allowed(
                     lineno, "raw-atomic-shared-ptr"):

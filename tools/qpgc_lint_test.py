@@ -144,6 +144,39 @@ class RawPrimitiveTest(LintFixture):
         self.assertEqual(self.lint(), [])
 
 
+class PinRefTest(LintFixture):
+    def test_auto_ref_to_pin_is_flagged(self):
+        self.write("src/serve/use.cc",
+                   "const auto& snap = svc.Pin();\n")
+        self.assert_rule(self.lint(), "pin-ref", "src/serve/use.cc")
+
+    def test_auto_rvalue_ref_to_acquire_is_flagged(self):
+        self.write("src/serve/use.cc",
+                   "auto&& pinned = manager.AcquireAll();\n")
+        self.assert_rule(self.lint(), "pin-ref", "src/serve/use.cc")
+
+    def test_auto_ref_through_deref_is_flagged(self):
+        self.write("tests/serve/use_test.cc",
+                   "const auto& gr = mgr.Acquire()->reach_gr();\n")
+        self.assert_rule(self.lint(), "pin-ref", "tests/serve/use_test.cc")
+
+    def test_pin_by_value_is_clean(self):
+        self.write("src/serve/use.cc",
+                   "const auto snap = svc.Pin();\n"
+                   "auto pinned = manager.AcquireAll();\n")
+        self.assertEqual(self.lint(), [])
+
+    def test_auto_ref_to_non_pin_call_is_clean(self):
+        self.write("src/serve/use.cc",
+                   "const auto& part = manager.partition();\n")
+        self.assertEqual(self.lint(), [])
+
+    def test_pin_escape_fixture_dir_is_skipped(self):
+        self.write("tests/static_analysis/pin_escape/planted.cc",
+                   "const auto& snap = svc.Pin();\n")
+        self.assertEqual(self.lint(), [])
+
+
 class MetricNameTest(LintFixture):
     def test_camel_case_metric_is_flagged(self):
         self.write("bench/bench_x.cc", 'Metric("ReachQps", v);\n')

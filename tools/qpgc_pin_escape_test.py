@@ -1,0 +1,334 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/qpgc_pin_escape.py, runnable standalone or via ctest.
+
+Each test materializes a small fixture tree in a temp directory (the src/
+layout the analyzer expects, plus a compile_commands.json where the
+build-dir mode is under test) and asserts the analyzer's verdict — both
+that each escape shape is caught with the right rule tag and that every
+idiom the repo actually uses (named pins, lifetime-extended pin handles,
+value reads through a pin temporary) stays clean. The clean-idiom tests
+are the contract that keeps the analyzer from rotting into noise; the
+RepositoryIsCleanTest at the bottom keeps the real tree honest.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import qpgc_pin_escape  # noqa: E402
+
+
+class PinEscapeFixture(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory(prefix="qpgc_pin_escape_")
+        self.root = self._tmp.name
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def write(self, relpath, content):
+        path = os.path.join(self.root, relpath)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(content)
+        return path
+
+    def analyze(self, build_dir=None):
+        return qpgc_pin_escape.Analyzer(self.root).run_tree(
+            build_dir=build_dir)
+
+    def assert_rule(self, violations, rule, path_fragment):
+        hits = [v for v in violations if f"[{rule}]" in v
+                and path_fragment in v]
+        self.assertTrue(
+            hits, f"expected a [{rule}] violation mentioning "
+            f"{path_fragment}; got: {violations}")
+
+
+class PinEscapeRuleTest(PinEscapeFixture):
+    def test_reference_through_pin_temporary_is_flagged(self):
+        self.write("src/serve/use.cc", """\
+void F(const SnapshotManager& mgr) {
+  const auto& gr = mgr.Acquire()->reach_gr();
+  Use(gr);
+}
+""")
+        self.assert_rule(self.analyze(), "pin-escape", "src/serve/use.cc")
+
+    def test_span_through_pin_temporary_is_flagged(self):
+        self.write("src/serve/use.cc", """\
+void F(const QueryService& svc) {
+  std::span<const NodeId> s = svc.Pin()->OutNeighbors(0);
+  Use(s);
+}
+""")
+        self.assert_rule(self.analyze(), "pin-escape", "src/serve/use.cc")
+
+    def test_auto_copy_of_span_accessor_is_flagged(self):
+        self.write("src/serve/use.cc", """\
+void F(const SnapshotManager& mgr) {
+  auto members = mgr.Acquire()->pattern_block_members(0);
+  Use(members);
+}
+""")
+        self.assert_rule(self.analyze(), "pin-escape", "src/serve/use.cc")
+
+    def test_reference_to_dereferenced_pin_is_flagged(self):
+        self.write("src/serve/use.cc", """\
+void F(const SnapshotManager& mgr) {
+  const ServingSnapshot& snap = *mgr.Acquire();
+  Use(snap);
+}
+""")
+        self.assert_rule(self.analyze(), "pin-escape", "src/serve/use.cc")
+
+    def test_return_of_span_from_pin_temporary_is_flagged(self):
+        self.write("src/serve/use.cc", """\
+std::span<const NodeId> F(const ShardedQueryService& svc) {
+  return svc.AcquireAll().shard(0).OutNeighbors(3);
+}
+""")
+        self.assert_rule(self.analyze(), "pin-escape", "src/serve/use.cc")
+
+    def test_named_pin_then_view_is_clean(self):
+        self.write("src/serve/use.cc", """\
+void F(const SnapshotManager& mgr) {
+  const auto snap = mgr.Acquire();
+  const auto& gr = snap->reach_gr();
+  std::span<const NodeId> s = snap->pattern_block_members(0);
+  Use(gr, s);
+}
+""")
+        self.assertEqual(self.analyze(), [])
+
+    def test_lifetime_extended_pin_handle_is_clean(self):
+        self.write("src/serve/use.cc", """\
+void F(const SnapshotManager& mgr) {
+  const auto& snap = mgr.Acquire();
+  Use(snap->version());
+}
+""")
+        self.assertEqual(self.analyze(), [])
+
+    def test_value_read_through_pin_temporary_is_clean(self):
+        self.write("src/serve/use.cc", """\
+bool F(const QueryService& svc, NodeId u, NodeId v) {
+  const uint64_t ver = svc.Pin()->version();
+  return svc.Pin()->Reach(u, v) && ver > 0;
+}
+""")
+        self.assertEqual(self.analyze(), [])
+
+    def test_value_return_through_pin_temporary_is_clean(self):
+        self.write("src/serve/use.cc", """\
+size_t F(const SnapshotManager& mgr) {
+  return mgr.Acquire()->graph().num_nodes();
+}
+""")
+        self.assertEqual(self.analyze(), [])
+
+
+class MemberViewStoreTest(PinEscapeFixture):
+    def test_span_member_is_flagged(self):
+        self.write("src/serve/cache.h", """\
+class ResultCache {
+ public:
+  void Put(std::span<const NodeId> members);
+ private:
+  std::span<const NodeId> cached_members_;
+};
+""")
+        self.assert_rule(self.analyze(), "member-view-store",
+                         "src/serve/cache.h")
+
+    def test_raw_pointer_to_frozen_type_member_is_flagged(self):
+        self.write("src/serve/cache.h", """\
+class ReachCache {
+ private:
+  const FrozenReachSide* side_ = nullptr;
+};
+""")
+        self.assert_rule(self.analyze(), "member-view-store",
+                         "src/serve/cache.h")
+
+    def test_view_annotated_class_is_exempt(self):
+        self.write("src/graph/view.h", """\
+class QPGC_GSL_POINTER BlockMembersView {
+ private:
+  std::span<const NodeId> members_;
+};
+""")
+        self.assertEqual(self.analyze(), [])
+
+    def test_shared_ptr_member_is_clean(self):
+        self.write("src/serve/holder.h", """\
+class SnapshotHolder {
+ private:
+  std::shared_ptr<const ServingSnapshot> snap_;
+};
+""")
+        self.assertEqual(self.analyze(), [])
+
+    def test_reference_to_non_frozen_type_member_is_clean(self):
+        self.write("src/serve/service.h", """\
+class QueryService {
+ private:
+  const SnapshotManager& manager_;
+};
+""")
+        self.assertEqual(self.analyze(), [])
+
+    def test_static_span_is_flagged(self):
+        self.write("src/serve/use.cc", """\
+static std::span<const NodeId> g_last_members;
+""")
+        self.assert_rule(self.analyze(), "member-view-store",
+                         "src/serve/use.cc")
+
+    def test_view_type_alias_is_clean(self):
+        self.write("src/serve/alias.h", """\
+class Quotient {
+ public:
+  using MemberSpan = std::span<const NodeId>;
+};
+""")
+        self.assertEqual(self.analyze(), [])
+
+
+class ReturnLocalViewTest(PinEscapeFixture):
+    def test_span_over_local_vector_is_flagged(self):
+        self.write("src/serve/use.cc", """\
+std::span<const NodeId> Exits(const CsrGraph& g) {
+  std::vector<NodeId> exits = CollectExits(g);
+  return std::span<const NodeId>(exits);
+}
+""")
+        self.assert_rule(self.analyze(), "return-local-view",
+                         "src/serve/use.cc")
+
+    def test_reference_to_local_owner_is_flagged(self):
+        self.write("src/graph/use.cc", """\
+const CsrGraph& Build() {
+  CsrGraph g = MakeGraph();
+  return g;
+}
+""")
+        self.assert_rule(self.analyze(), "return-local-view",
+                         "src/graph/use.cc")
+
+    def test_owner_returned_by_value_is_clean(self):
+        self.write("src/graph/use.cc", """\
+std::vector<NodeId> Collect(const CsrGraph& g) {
+  std::vector<NodeId> out;
+  out.push_back(0);
+  return out;
+}
+""")
+        self.assertEqual(self.analyze(), [])
+
+    def test_view_over_parameter_is_clean(self):
+        self.write("src/graph/use.cc", """\
+std::span<const NodeId> Tail(const std::vector<NodeId>& v) {
+  return std::span<const NodeId>(v).subspan(1);
+}
+""")
+        self.assertEqual(self.analyze(), [])
+
+    def test_lambda_returning_local_by_value_is_clean(self):
+        self.write("src/bisim/use.cc", """\
+void F(const CsrGraph& g) {
+  const auto sig_of = [&](NodeId v) {
+    std::vector<NodeId> sig;
+    sig.push_back(v);
+    return sig;
+  };
+  Use(sig_of(0));
+}
+""")
+        self.assertEqual(self.analyze(), [])
+
+
+class AllowMarkerTest(PinEscapeFixture):
+    def test_marker_outside_allowlist_is_flagged(self):
+        self.write("src/serve/use.cc", """\
+void F(const SnapshotManager& mgr) {
+  // qpgc-pin-escape: allow(pin-escape)
+  const auto& gr = mgr.Acquire()->reach_gr();
+}
+""")
+        violations = self.analyze()
+        self.assert_rule(violations, "allow-marker", "src/serve/use.cc")
+        self.assert_rule(violations, "pin-escape", "src/serve/use.cc")
+
+    def test_marker_in_allowlisted_file_is_honored(self):
+        self.write("src/serve/use.cc", """\
+void F(const SnapshotManager& mgr) {
+  // qpgc-pin-escape: allow(pin-escape)
+  const auto& gr = mgr.Acquire()->reach_gr();
+}
+""")
+        saved = qpgc_pin_escape.ALLOW_MARKER_FILES
+        qpgc_pin_escape.ALLOW_MARKER_FILES = {"src/serve/use.cc"}
+        try:
+            self.assertEqual(self.analyze(), [])
+        finally:
+            qpgc_pin_escape.ALLOW_MARKER_FILES = saved
+
+
+class DriverModeTest(PinEscapeFixture):
+    VIOLATION = """\
+void F(const SnapshotManager& mgr) {
+  const auto& gr = mgr.Acquire()->reach_gr();
+}
+"""
+
+    def test_build_dir_mode_follows_compile_commands(self):
+        in_db = self.write("src/serve/in_db.cc", self.VIOLATION)
+        self.write("src/serve/not_in_db.cc", self.VIOLATION)
+        build = os.path.join(self.root, "build")
+        os.makedirs(build)
+        with open(os.path.join(build, "compile_commands.json"), "w",
+                  encoding="utf-8") as f:
+            json.dump([{"directory": build, "file": in_db,
+                        "command": "c++ -c " + in_db}], f)
+        violations = self.analyze(build_dir=build)
+        self.assert_rule(violations, "pin-escape", "src/serve/in_db.cc")
+        self.assertFalse(
+            any("not_in_db" in v for v in violations),
+            f"sources outside compile_commands must be skipped: "
+            f"{violations}")
+
+    def test_build_dir_mode_always_analyzes_headers(self):
+        self.write("src/serve/cache.h", """\
+class C { std::span<const NodeId> s_; };
+""")
+        build = os.path.join(self.root, "build")
+        os.makedirs(build)
+        with open(os.path.join(build, "compile_commands.json"), "w",
+                  encoding="utf-8") as f:
+            json.dump([], f)
+        self.assert_rule(self.analyze(build_dir=build),
+                         "member-view-store", "src/serve/cache.h")
+
+    def test_files_mode_analyzes_exactly_the_given_files(self):
+        planted = self.write("fixtures/planted.cc", self.VIOLATION)
+        violations = qpgc_pin_escape.Analyzer(self.root).run_files([planted])
+        self.assert_rule(violations, "pin-escape", "fixtures/planted.cc")
+
+
+class RepositoryIsCleanTest(unittest.TestCase):
+    """The real tree must satisfy its own analyzer (same spirit as the
+    dedicated ctest entry: a violation fails here AND there)."""
+
+    def test_repo_is_clean(self):
+        repo_root = os.path.normpath(os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), os.pardir))
+        violations = qpgc_pin_escape.Analyzer(repo_root).run_tree()
+        self.assertEqual(violations, [])
+
+
+if __name__ == "__main__":
+    unittest.main()
