@@ -20,6 +20,7 @@
 // Env: QPGC_BENCH_SERVE_SECS overrides the throughput window (default 0.5).
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -27,9 +28,11 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "gen/adversarial.h"
 #include "gen/random_models.h"
 #include "gen/uniform.h"
 #include "gen/update_gen.h"
+#include "serve/answer_cache.h"
 #include "serve/load_gen.h"
 #include "serve/query_service.h"
 #include "serve/snapshot_manager.h"
@@ -195,6 +198,108 @@ void ThroughputExperiment() {
   std::printf("\n");
 }
 
+// Reach-only qps of 2 readers over `workload` for one window (no writer:
+// the A/B isolates the cache, ThroughputExperiment keeps the live update
+// stream).
+template <typename Service>
+double MeasureReachQps(const Service& service, const ReaderWorkload& workload,
+                       double window_secs, int readers_n) {
+  return RunTimedLoad(service, /*patterns=*/{}, workload, window_secs,
+                      readers_n)
+      .reach_qps();
+}
+
+struct CacheAbResult {
+  double hot_uncached = 0.0;
+  double hot_cached = 0.0;
+  double uniform_uncached = 0.0;
+  double uniform_cached = 0.0;
+  CacheStats hot_stats;  // counters accumulated during the hot cached run
+};
+
+// One cache A/B over a static snapshot of `base`: hot-set and uniform
+// workloads, each measured uncached then cached.
+CacheAbResult RunCacheAb(const Graph& base, double window_secs,
+                         const char* label) {
+  SnapshotManager mgr(base);
+  const QueryService uncached(mgr);
+  const CachedQueryService cached(mgr);
+  const ReaderWorkload hot = ReaderWorkload::ZipfHotSet(1.1, 512);
+  const ReaderWorkload uniform = ReaderWorkload::Uniform();
+
+  CacheAbResult r;
+  r.hot_uncached = MeasureReachQps(uncached, hot, window_secs, 2);
+  r.hot_cached = MeasureReachQps(cached, hot, window_secs, 2);
+  r.hot_stats = cached.cache_stats();
+  r.uniform_uncached = MeasureReachQps(uncached, uniform, window_secs, 2);
+  r.uniform_cached = MeasureReachQps(cached, uniform, window_secs, 2);
+
+  std::printf("%-24s %14.0f %14.0f %9.1fx %9.3f\n",
+              (std::string(label) + " hot").c_str(), r.hot_uncached,
+              r.hot_cached,
+              r.hot_uncached > 0 ? r.hot_cached / r.hot_uncached : 0.0,
+              r.hot_stats.ReachHitRate());
+  std::printf("%-24s %14.0f %14.0f %9.2fx %9s\n",
+              (std::string(label) + " uniform").c_str(), r.uniform_uncached,
+              r.uniform_cached,
+              r.uniform_uncached > 0 ? r.uniform_cached / r.uniform_uncached
+                                     : 0.0,
+              "-");
+  return r;
+}
+
+void AnswerCacheExperiment() {
+  const double window_secs = ServeSeconds();
+  std::printf("answer cache A/B (%.2fs windows, 2 readers, static snapshot; "
+              "docs/CACHING.md):\n", window_secs);
+  std::printf("%-24s %14s %14s %10s %9s\n", "graph / workload",
+              "uncached qps", "cached qps", "speedup", "hit rate");
+  bench::Rule();
+
+  // Headline: a deep grid, whose reach quotient IS the graph — every
+  // uncached probe pays a real quotient BFS, which is the regime answer
+  // caching exists for. Hot-set = Zipf(s=1.1) over 512 repeated pairs.
+  const CacheAbResult grid =
+      RunCacheAb(DirectedGrid(141, 141), window_secs, "grid 141x141");
+  // Context: the social graph's reach quotient is tiny, so raw reach is
+  // already millions of qps; there the exact tier's win comes from block
+  // canonicalization (uniform pairs collapse onto few block pairs).
+  const CacheAbResult social =
+      RunCacheAb(LabeledSocialGraph(20000, 13), window_secs, "social 20k");
+  bench::Rule();
+  const CacheStats& hs = grid.hot_stats;
+  std::printf("  grid hot-set counters: exact hits %llu, subsumption hits "
+              "%llu, misses %llu,\n  inserts %llu, evictions %llu\n\n",
+              static_cast<unsigned long long>(hs.reach_exact_hits),
+              static_cast<unsigned long long>(hs.reach_subsumption_hits),
+              static_cast<unsigned long long>(hs.reach_misses),
+              static_cast<unsigned long long>(hs.reach_inserts),
+              static_cast<unsigned long long>(hs.reach_evictions));
+
+  bench::Metric("cache_hot_uncached_reach_qps", grid.hot_uncached);
+  bench::Metric("cache_hot_cached_reach_qps", grid.hot_cached);
+  bench::Metric("cache_hot_speedup",
+                grid.hot_uncached > 0 ? grid.hot_cached / grid.hot_uncached
+                                      : 0.0);
+  bench::Metric("cache_hot_hit_rate", hs.ReachHitRate());
+  bench::Metric("cache_hot_exact_hits",
+                static_cast<double>(hs.reach_exact_hits));
+  bench::Metric("cache_hot_subsumption_hits",
+                static_cast<double>(hs.reach_subsumption_hits));
+  bench::Metric("cache_hot_misses", static_cast<double>(hs.reach_misses));
+  bench::Metric("cache_hot_inserts", static_cast<double>(hs.reach_inserts));
+  bench::Metric("cache_hot_evictions",
+                static_cast<double>(hs.reach_evictions));
+  bench::Metric("cache_uniform_uncached_reach_qps", grid.uniform_uncached);
+  bench::Metric("cache_uniform_cached_reach_qps", grid.uniform_cached);
+  bench::Metric("cache_social_hot_uncached_reach_qps", social.hot_uncached);
+  bench::Metric("cache_social_hot_cached_reach_qps", social.hot_cached);
+  bench::Metric("cache_social_uniform_uncached_reach_qps",
+                social.uniform_uncached);
+  bench::Metric("cache_social_uniform_cached_reach_qps",
+                social.uniform_cached);
+}
+
 }  // namespace
 
 int main() {
@@ -203,6 +308,7 @@ int main() {
   SwapLatencyExperiment();
   AmortizationExperiment();
   ThroughputExperiment();
+  AnswerCacheExperiment();
   std::printf("expected shape: swap latency flat in |G|; publish cost per "
               "update falls as N grows;\nreaders keep answering at full "
               "speed while the writer publishes.\n");

@@ -37,6 +37,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -47,6 +48,7 @@
 #include "gen/uniform.h"
 #include "gen/update_gen.h"
 #include "graph/shard_view.h"
+#include "serve/answer_cache.h"
 #include "serve/load_gen.h"
 #include "serve/router.h"
 #include "serve/sharded_manager.h"
@@ -289,6 +291,61 @@ void RoutedThroughputExperiment(const Graph& g, double window_secs) {
     const std::string suffix = ".K" + std::to_string(k);
     bench::Metric("routed_reach_qps" + suffix, reach_qps);
     bench::Metric("routed_match_qps" + suffix, match_qps);
+
+    // Per-tier split of routed match cost (the PR 9 routed-cliff baseline):
+    // stitching the cross-shard pattern quotient — paid once per pinned
+    // version vector — vs evaluating one query on the already-stitched
+    // quotient.
+    {
+      const auto part = mgr.partition_ptr();
+      const auto snaps = mgr.AcquireAll();
+      constexpr int kStitchReps = 3;
+      Timer stitch_timer;
+      for (int i = 0; i < kStitchReps; ++i) {
+        (void)BuildStitchedPatternQuotient(*part, snaps);
+      }
+      const double stitch_secs =
+          stitch_timer.ElapsedSeconds() / kStitchReps;
+
+      const auto pin = std::make_shared<const PinnedShards>(part, snaps);
+      (void)pin->stitched();  // build outside the timed query loop
+      size_t evals = 0;
+      Timer query_timer;
+      while (query_timer.ElapsedSeconds() < 0.05 || evals < patterns.size()) {
+        (void)pin->BooleanMatch(patterns[evals % patterns.size()]);
+        ++evals;
+      }
+      const double query_secs = query_timer.ElapsedSeconds() /
+                                static_cast<double>(evals);
+      std::printf("     match tier split: stitch %s/version vector, query "
+                  "%s/eval\n",
+                  bench::Secs(stitch_secs).c_str(),
+                  bench::Secs(query_secs).c_str());
+      bench::Metric("routed_match_stitch_secs" + suffix, stitch_secs);
+      bench::Metric("routed_match_query_secs" + suffix, query_secs);
+    }
+
+    // Answer cache over the router (serve/answer_cache.h): hot-set
+    // repetition against the static post-window shards.
+    {
+      const CachedShardedQueryService cached(mgr);
+      const ReaderWorkload hot = ReaderWorkload::ZipfHotSet(1.1, 512);
+      const double hot_uncached =
+          RunTimedLoad(service, /*patterns=*/{}, hot, window_secs, 2)
+              .reach_qps();
+      const double hot_cached =
+          RunTimedLoad(cached, /*patterns=*/{}, hot, window_secs, 2)
+              .reach_qps();
+      std::printf("     hot-set reach: uncached %.0f qps, cached %.0f qps "
+                  "(%.1fx, hit rate %.3f)\n",
+                  hot_uncached, hot_cached,
+                  hot_uncached > 0 ? hot_cached / hot_uncached : 0.0,
+                  cached.cache_stats().ReachHitRate());
+      bench::Metric("cache_routed_hot_uncached_reach_qps" + suffix,
+                    hot_uncached);
+      bench::Metric("cache_routed_hot_cached_reach_qps" + suffix,
+                    hot_cached);
+    }
   }
   bench::Rule();
   std::printf("\n");

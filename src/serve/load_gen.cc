@@ -2,9 +2,47 @@
 
 #include "serve/load_gen.h"
 
+#include <algorithm>
+
 #include "pattern/pattern_gen.h"
+#include "util/hash.h"
 
 namespace qpgc {
+
+WorkloadSampler::WorkloadSampler(const ReaderWorkload& workload,
+                                 size_t num_nodes)
+    : workload_(workload), num_nodes_(num_nodes) {
+  QPGC_CHECK(num_nodes_ > 0);
+  if (workload_.mode == ReaderWorkload::Mode::kZipfHotSet) {
+    const size_t hot = std::max<size_t>(
+        1, std::min(workload_.hot_set_size, num_nodes_ * num_nodes_));
+    zipf_.emplace(hot, workload_.zipf_s);
+  }
+}
+
+std::pair<NodeId, NodeId> WorkloadSampler::SampleReachPair(Rng& rng) const {
+  if (workload_.mode == ReaderWorkload::Mode::kUniform) {
+    return {static_cast<NodeId>(rng.Uniform(num_nodes_)),
+            static_cast<NodeId>(rng.Uniform(num_nodes_))};
+  }
+  // Replay the hot pair of a Zipf-drawn rank. The rank -> pair mapping is a
+  // pure hash of (hot_seed, rank), so every reader shares one hot set while
+  // the endpoints still spread over the whole graph.
+  const uint64_t rank = zipf_->Sample(rng);
+  return {static_cast<NodeId>(Mix64(workload_.hot_seed + 2 * rank) %
+                              num_nodes_),
+          static_cast<NodeId>(Mix64(workload_.hot_seed + 2 * rank + 1) %
+                              num_nodes_)};
+}
+
+size_t WorkloadSampler::SamplePatternIndex(Rng& rng,
+                                           size_t num_patterns) const {
+  QPGC_DCHECK(num_patterns > 0);
+  if (workload_.mode == ReaderWorkload::Mode::kUniform) {
+    return rng.Uniform(num_patterns);
+  }
+  return zipf_->Sample(rng) % num_patterns;
+}
 
 std::vector<PatternQuery> ServeLoadPatterns(const Graph& g, size_t count,
                                             uint64_t seed) {

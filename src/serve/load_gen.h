@@ -10,13 +10,19 @@
 #define QPGC_SERVE_LOAD_GEN_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "graph/update.h"
 #include "pattern/pattern.h"
+#include "util/common.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 namespace qpgc {
 
@@ -33,34 +39,154 @@ struct ReaderLoadCounters {
   uint64_t match_queries = 0;
 };
 
+/// How RunReaderLoad draws its queries.
+///  * kUniform — independent uniform endpoints (the PR 4/5 workload).
+///  * kZipfHotSet — production-shaped repetition: a fixed hot set of
+///    `hot_set_size` query pairs; each query draws a Zipf(zipf_s) rank and
+///    replays that rank's pair. The rank -> pair mapping is a pure function
+///    of `hot_seed`, so every reader (and every phase of an A/B run)
+///    hammers the same hot set, which is what makes answer caching
+///    measurable (docs/CACHING.md).
+struct ReaderWorkload {
+  enum class Mode { kUniform, kZipfHotSet };
+
+  Mode mode = Mode::kUniform;
+  /// Zipf exponent s over hot-set ranks (rank 0 most frequent).
+  double zipf_s = 1.1;
+  /// Number of distinct hot query pairs (clamped to the graph size).
+  size_t hot_set_size = 1024;
+  /// Seed of the rank -> pair mapping, shared across readers.
+  uint64_t hot_seed = 0x40095eedull;
+
+  static ReaderWorkload Uniform() { return {}; }
+  static ReaderWorkload ZipfHotSet(double s, size_t hot_pairs) {
+    ReaderWorkload w;
+    w.mode = Mode::kZipfHotSet;
+    w.zipf_s = s;
+    w.hot_set_size = hot_pairs;
+    return w;
+  }
+};
+
+/// Draws reach endpoints / pattern indexes for one workload over a graph of
+/// `num_nodes` nodes. Cheap to construct (one Zipf CDF); each reader thread
+/// builds its own and feeds it its own Rng.
+class WorkloadSampler {
+ public:
+  WorkloadSampler(const ReaderWorkload& workload, size_t num_nodes);
+
+  /// Endpoints of one reach query.
+  std::pair<NodeId, NodeId> SampleReachPair(Rng& rng) const;
+
+  /// Index of one pattern in [0, num_patterns); num_patterns > 0.
+  size_t SamplePatternIndex(Rng& rng, size_t num_patterns) const;
+
+ private:
+  ReaderWorkload workload_;
+  size_t num_nodes_;
+  std::optional<ZipfSampler> zipf_;  // over hot ranks (kZipfHotSet only)
+};
+
 /// The reader hammer loop: until `stop` is set, pin the current snapshot
-/// (or sharded version vector), issue 64 random reach queries, then one
-/// boolean match (when patterns are available). Deterministic in `seed` up
-/// to snapshot timing. Works against any service whose Pin() returns a
+/// (or sharded version vector), issue 64 workload-drawn reach queries, then
+/// one boolean match (when patterns are available). Deterministic in `seed`
+/// up to snapshot timing. Works against any service whose Pin() returns a
 /// handle with original_num_nodes / Reach / BooleanMatch — QueryService
-/// (pins a ServingSnapshot) and ShardedQueryService (pins a PinnedShards)
-/// both qualify.
+/// (pins a ServingSnapshot), ShardedQueryService (pins a PinnedShards), and
+/// the caching facades in serve/answer_cache.h all qualify.
+template <typename Service>
+ReaderLoadCounters RunReaderLoad(const Service& service,
+                                 const std::vector<PatternQuery>& patterns,
+                                 uint64_t seed, const std::atomic<bool>& stop,
+                                 const ReaderWorkload& workload) {
+  ReaderLoadCounters counters;
+  Rng rng(seed);
+  std::optional<WorkloadSampler> sampler;
+  size_t sampler_nodes = 0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    const auto snap = service.Pin();
+    const size_t n = snap->original_num_nodes();
+    if (n == 0) continue;
+    if (!sampler.has_value() || sampler_nodes != n) {
+      sampler.emplace(workload, n);
+      sampler_nodes = n;
+    }
+    for (int i = 0; i < 64; ++i) {
+      const std::pair<NodeId, NodeId> uv = sampler->SampleReachPair(rng);
+      (void)snap->Reach(uv.first, uv.second);
+      ++counters.reach_queries;
+    }
+    if (!patterns.empty()) {
+      (void)snap->BooleanMatch(
+          patterns[sampler->SamplePatternIndex(rng, patterns.size())]);
+      ++counters.match_queries;
+    }
+  }
+  return counters;
+}
+
+/// Backward-compatible overload: uniform workload.
 template <typename Service>
 ReaderLoadCounters RunReaderLoad(const Service& service,
                                  const std::vector<PatternQuery>& patterns,
                                  uint64_t seed,
                                  const std::atomic<bool>& stop) {
-  ReaderLoadCounters counters;
-  Rng rng(seed);
-  while (!stop.load(std::memory_order_relaxed)) {
-    const auto snap = service.Pin();
-    const size_t n = snap->original_num_nodes();
-    for (int i = 0; i < 64; ++i) {
-      (void)snap->Reach(static_cast<NodeId>(rng.Uniform(n)),
-                        static_cast<NodeId>(rng.Uniform(n)));
-      ++counters.reach_queries;
-    }
-    if (!patterns.empty()) {
-      (void)snap->BooleanMatch(patterns[rng.Uniform(patterns.size())]);
-      ++counters.match_queries;
-    }
+  return RunReaderLoad(service, patterns, seed, stop, ReaderWorkload{});
+}
+
+/// What one timed multi-reader window did.
+struct LoadRunResult {
+  double elapsed_secs = 0.0;
+  uint64_t reach_queries = 0;
+  uint64_t match_queries = 0;
+
+  double reach_qps() const {
+    return elapsed_secs > 0 ? static_cast<double>(reach_queries) / elapsed_secs
+                            : 0.0;
   }
-  return counters;
+  double match_qps() const {
+    return elapsed_secs > 0 ? static_cast<double>(match_queries) / elapsed_secs
+                            : 0.0;
+  }
+};
+
+/// Spawns `num_readers` RunReaderLoad threads against `service` for one
+/// `window_secs` window (reach-only when `patterns` is empty) and returns
+/// the aggregate counters. The A/B harness of the benches and qpgc_tool
+/// serve-sim: measuring cached vs uncached services on the same workload is
+/// two calls with the same seeds.
+template <typename Service>
+LoadRunResult RunTimedLoad(const Service& service,
+                           const std::vector<PatternQuery>& patterns,
+                           const ReaderWorkload& workload, double window_secs,
+                           int num_readers, uint64_t seed_base = 40) {
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> reach_queries{0};
+  std::atomic<uint64_t> match_queries{0};
+  std::vector<std::thread> readers;
+  readers.reserve(static_cast<size_t>(num_readers));
+  for (int r = 0; r < num_readers; ++r) {
+    readers.emplace_back([&, r] {
+      const ReaderLoadCounters counters = RunReaderLoad(
+          service, patterns, seed_base + static_cast<uint64_t>(r), done,
+          workload);
+      reach_queries.fetch_add(counters.reach_queries,
+                              std::memory_order_relaxed);
+      match_queries.fetch_add(counters.match_queries,
+                              std::memory_order_relaxed);
+    });
+  }
+  Timer window;
+  while (window.ElapsedSeconds() < window_secs) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  LoadRunResult result;
+  result.elapsed_secs = window.ElapsedSeconds();
+  done.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+  result.reach_queries = reach_queries.load();
+  result.match_queries = match_queries.load();
+  return result;
 }
 
 /// A random shard-local batch for per-shard writer threads: `count` updates

@@ -191,6 +191,12 @@ class ServingSnapshot {
     QPGC_DCHECK(reach_ != nullptr);
     return reach_->gr;
   }
+  /// The reach node map R(v): original node -> reach-quotient block (what
+  /// the answer cache canonicalizes reach keys through).
+  const std::vector<NodeId>& reach_map() const QPGC_LIFETIME_BOUND {
+    QPGC_DCHECK(reach_ != nullptr);
+    return reach_->node_map;
+  }
   /// The frozen bisimulation quotient (owned blocks only — see
   /// FrozenPatternSide).
   const CsrGraph& pattern_gr() const QPGC_LIFETIME_BOUND {

@@ -16,8 +16,11 @@ Throughput metrics (keys ending in _qps or _per_sec, or containing
 "throughput") are higher-is-better and — being wall-clock-derived, so
 machine-specific like the _secs metrics — never gate: a move beyond
 tolerance is reported directionally as GAIN or SLOWER but not counted as
-drift. Structural metrics stay two-sided — a compression ratio moving
-either way is drift worth seeing.
+drift. Answer-cache event counters (cache_*_hits/_misses/_inserts/
+_evictions) count events inside a timed window, so they are load, not
+structure, and report without gating too; cache_*_rate metrics stay
+structural. Structural metrics stay two-sided — a compression ratio
+moving either way is drift worth seeing.
 
 --subset-ok: metrics present in the baseline but absent from the new run
 are reported as SKIP instead of counted as drift. Use when the new run is
@@ -66,6 +69,18 @@ def is_throughput(key):
     return (key.endswith("_qps") or key.endswith("_per_sec")
             or "_qps." in key or "_per_sec." in key
             or "throughput" in key)
+
+
+def is_load_counter(key):
+    """Answer-cache event counters (cache_*_hits / _misses / _inserts /
+    _evictions): how many cache events a timed window saw is
+    wall-clock-derived load, not structure, so these report like timing
+    and never gate. cache_*_rate stays structural — hit *rate* is a
+    property of the workload + canonicalization, deterministic given
+    seeds and window-insensitive once warm."""
+    head = key.split(".", 1)[0]
+    return head.startswith("cache_") and head.endswith(
+        ("_hits", "_misses", "_inserts", "_evictions"))
 
 
 def print_table(rows, header):
@@ -123,7 +138,8 @@ def print_trajectory(baseline_dir, name, new_metrics, depth):
     all_keys = set(new_metrics or {})
     for _, metrics in history:
         all_keys.update(metrics)
-    keys = sorted(k for k in all_keys if not is_timing(k))
+    keys = sorted(k for k in all_keys
+                  if not is_timing(k) and not is_load_counter(k))
     rows = []
     for key in keys:
         cells = []
@@ -192,7 +208,8 @@ def main():
                 # config); a metric that only just appeared does not.
                 if key in base:
                     status = "SKIP" if args.subset_ok else "GONE"
-                    if status == "GONE" and not is_timing(key):
+                    if (status == "GONE" and not is_timing(key)
+                            and not is_load_counter(key)):
                         drifted += 1
                 else:
                     status = "NEW"
@@ -204,6 +221,8 @@ def main():
             rel = abs(n - b) / max(abs(b), 1e-12) * 100.0
             if is_timing(key):
                 status = "timing"
+            elif is_load_counter(key):
+                status = "load"
             elif rel <= args.tolerance:
                 status = "ok"
             elif is_throughput(key):

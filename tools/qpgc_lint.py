@@ -52,7 +52,12 @@ Rules:
   [metric-name]   bench::Metric keys: the metric segment (up to the first
                   '.') is lower_snake_case ([a-z][a-z0-9_]*), so
                   BENCH_*.json keys stay greppable and bench_diff.py
-                  comparisons stay stable.
+                  comparisons stay stable. Answer-cache metrics (segment
+                  starting `cache_`) must additionally end in a unit/kind
+                  suffix from CACHE_METRIC_SUFFIXES (_qps, _rate, _hits,
+                  _misses, _inserts, _evictions, _speedup, _secs) so
+                  cached-vs-uncached comparisons in bench_diff.py and the
+                  trajectory plots can classify them without a schema.
 
   [header-guard]  Every header uses the canonical include guard derived
                   from its path (QPGC_SERVE_ROUTER_H_ style); #pragma once
@@ -90,7 +95,7 @@ ALLOWED_DEPS = {
 # Serving read-path files: may hold only immutable frozen state, so the
 # graph-mutation headers below must never appear in their includes.
 # serve/load_gen and the managers are writer-side by design and exempt.
-READ_PATH_STEMS = {"snapshot", "query_service", "router"}
+READ_PATH_STEMS = {"answer_cache", "snapshot", "query_service", "router"}
 MUTATION_HEADERS = re.compile(r'^(graph/update\.h|inc/)')
 
 # Reference-bound pin handles (rule pin-ref): an auto reference whose
@@ -119,6 +124,11 @@ ALLOW_RE = re.compile(r'qpgc-lint:\s*allow\(([a-z-]+)\)')
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+([<"][^">]+[">])')
 METRIC_RE = re.compile(r'\bMetric\(\s*"([^"]*)"')
 METRIC_SEGMENT_RE = re.compile(r'^[a-z][a-z0-9_]*$')
+
+# Required trailing unit/kind suffix for answer-cache metric segments.
+CACHE_METRIC_SUFFIXES = (
+    "_qps", "_rate", "_hits", "_misses", "_inserts", "_evictions",
+    "_speedup", "_secs")
 STRING_RE = re.compile(r'"(?:\\.|[^"\\])*"')
 
 
@@ -290,6 +300,13 @@ class Linter:
                             relpath, lineno, "metric-name",
                             f'Metric key "{key}": the first dot-segment '
                             "must be lower_snake_case")
+                    elif (head.startswith("cache_") and not head.endswith(
+                            CACHE_METRIC_SUFFIXES)):
+                        self.report(
+                            relpath, lineno, "metric-name",
+                            f'Metric key "{key}": cache_* metrics must end '
+                            "in one of "
+                            + ", ".join(CACHE_METRIC_SUFFIXES))
 
         if relpath.endswith(".h"):
             guard = expected_guard(relpath)

@@ -104,6 +104,12 @@ class ReadPathTest(LintFixture):
                    '#include "graph/update.h"\n')
         self.assertEqual(self.lint(), [])
 
+    def test_answer_cache_including_update_header_is_flagged(self):
+        self.write("src/serve/answer_cache.cc",
+                   '#include "graph/update.h"\n')
+        self.assert_rule(self.lint(), "read-path",
+                         "src/serve/answer_cache.cc")
+
 
 class RawPrimitiveTest(LintFixture):
     def test_raw_mutex_is_flagged(self):
@@ -184,6 +190,21 @@ class MetricNameTest(LintFixture):
 
     def test_dataset_suffix_may_be_camel_case(self):
         self.write("bench/bench_x.cc", 'Metric("rcr.socEpinions", v);\n')
+        self.assertEqual(self.lint(), [])
+
+    def test_cache_metric_without_kind_suffix_is_flagged(self):
+        self.write("bench/bench_x.cc", 'Metric("cache_hot_reach", v);\n')
+        self.assert_rule(self.lint(), "metric-name", "bench/bench_x.cc")
+
+    def test_cache_metric_with_kind_suffix_is_clean(self):
+        self.write("bench/bench_x.cc",
+                   'Metric("cache_hot_cached_reach_qps.K2", v);\n'
+                   'Metric("cache_hot_hit_rate", v);\n'
+                   'Metric("cache_hot_evictions", v);\n')
+        self.assertEqual(self.lint(), [])
+
+    def test_non_cache_metric_needs_no_kind_suffix(self):
+        self.write("bench/bench_x.cc", 'Metric("freeze_ms_total", v);\n')
         self.assertEqual(self.lint(), [])
 
 

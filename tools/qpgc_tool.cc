@@ -16,6 +16,15 @@
 //                       and publishes per policy (serve/snapshot_manager.h).
 //                       Flags: --readers=N --duration=SECS --batch-size=N
 //                       --publish-every=N | --staleness-ms=MS
+//                       --zipf-s=S --hot-set=N --cache[=off|exact|full]
+//
+// `serve-sim --zipf-s=S` switches the readers from uniform endpoints to a
+// Zipf(S) hot set of --hot-set pairs (serve/load_gen.h), the repetition
+// answer caching feeds on. `--cache` runs a post-stream A/B on the final
+// version — the same timed read-only window uncached and through the
+// serve/answer_cache.h facade — and prints both qps figures plus the hit
+// rate (exact=full tiering per docs/CACHING.md; exact disables subsumption
+// and the negative match cache).
 //
 // `compressb` accepts --bisim-engine=paige-tarjan|ranked|signature to pick
 // the maximum-bisimulation engine (default paige-tarjan).
@@ -33,6 +42,7 @@
 // graph/graph_view.h); `stats` reports the snapshot's memory next to the
 // dynamic representation's.
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -52,6 +62,7 @@
 #include "graph/shard_view.h"
 #include "reach/compress_r.h"
 #include "reach/queries.h"
+#include "serve/answer_cache.h"
 #include "serve/load_gen.h"
 #include "serve/query_service.h"
 #include "serve/router.h"
@@ -78,7 +89,9 @@ int Usage() {
                "  qpgc_tool serve-sim <edges> [labels] [--shards=K] "
                "[--readers=N] [--duration=SECS]\n"
                "                      [--batch-size=N] [--publish-every=N | "
-               "--staleness-ms=MS]\n");
+               "--staleness-ms=MS]\n"
+               "                      [--zipf-s=S] [--hot-set=N] "
+               "[--cache[=off|exact|full]]\n");
   return 2;
 }
 
@@ -257,6 +270,8 @@ int CmdInfo(const char* artifact) {
 
 // --- serve-sim -------------------------------------------------------------
 
+enum class CacheMode { kOff, kExact, kFull };
+
 struct ServeSimOptions {
   const char* edges = nullptr;
   const char* labels = nullptr;
@@ -267,6 +282,10 @@ struct ServeSimOptions {
   // Policy: every-N unless a staleness bound is given.
   size_t publish_every = 64;
   double staleness_ms = -1.0;
+  // Workload: uniform endpoints unless --zipf-s is given.
+  double zipf_s = -1.0;
+  size_t hot_set = 1024;
+  CacheMode cache = CacheMode::kOff;
 };
 
 bool ParseSizeFlag(const char* arg, const char* name, size_t* out) {
@@ -283,6 +302,37 @@ bool ParseDoubleFlag(const char* arg, const char* name, double* out) {
   return true;
 }
 
+// The --cache A/B: one timed read-only reach window against the plain
+// service, the same window (same workload, same seeds) through the caching
+// facade, and the facade's counters. Runs after the update stream so both
+// sides see the identical final version.
+template <typename Service, typename CachedService>
+void RunCacheComparison(const Service& uncached, const CachedService& cached,
+                        const ReaderWorkload& workload, double window_secs,
+                        size_t readers) {
+  const double uncached_qps =
+      RunTimedLoad(uncached, /*patterns=*/{}, workload, window_secs,
+                   static_cast<int>(readers))
+          .reach_qps();
+  const double cached_qps =
+      RunTimedLoad(cached, /*patterns=*/{}, workload, window_secs,
+                   static_cast<int>(readers))
+          .reach_qps();
+  const CacheStats stats = cached.cache_stats();
+  std::printf(
+      "cache A/B: %.0f reach/s uncached, %.0f reach/s cached (%.2fx) over "
+      "%.2fs windows\n"
+      "           hit rate %.3f (%llu exact, %llu subsumption, %llu misses, "
+      "%llu evictions)\n",
+      uncached_qps, cached_qps,
+      uncached_qps > 0 ? cached_qps / uncached_qps : 0.0, window_secs,
+      stats.ReachHitRate(),
+      static_cast<unsigned long long>(stats.reach_exact_hits),
+      static_cast<unsigned long long>(stats.reach_subsumption_hits),
+      static_cast<unsigned long long>(stats.reach_misses),
+      static_cast<unsigned long long>(stats.reach_evictions));
+}
+
 int CmdServeSim(const std::vector<const char*>& args) {
   ServeSimOptions opts;
   for (const char* arg : args) {
@@ -291,8 +341,23 @@ int CmdServeSim(const std::vector<const char*>& args) {
           ParseSizeFlag(arg, "--shards=", &opts.shards) ||
           ParseSizeFlag(arg, "--batch-size=", &opts.batch_size) ||
           ParseSizeFlag(arg, "--publish-every=", &opts.publish_every) ||
+          ParseSizeFlag(arg, "--hot-set=", &opts.hot_set) ||
           ParseDoubleFlag(arg, "--duration=", &opts.duration_secs) ||
-          ParseDoubleFlag(arg, "--staleness-ms=", &opts.staleness_ms)) {
+          ParseDoubleFlag(arg, "--staleness-ms=", &opts.staleness_ms) ||
+          ParseDoubleFlag(arg, "--zipf-s=", &opts.zipf_s)) {
+        continue;
+      }
+      if (std::strcmp(arg, "--cache") == 0 ||
+          std::strcmp(arg, "--cache=full") == 0) {
+        opts.cache = CacheMode::kFull;
+        continue;
+      }
+      if (std::strcmp(arg, "--cache=exact") == 0) {
+        opts.cache = CacheMode::kExact;
+        continue;
+      }
+      if (std::strcmp(arg, "--cache=off") == 0) {
+        opts.cache = CacheMode::kOff;
         continue;
       }
       std::fprintf(stderr, "serve-sim: unknown flag '%s'\n", arg);
@@ -307,7 +372,7 @@ int CmdServeSim(const std::vector<const char*>& args) {
     }
   }
   if (opts.edges == nullptr || opts.readers == 0 || opts.shards == 0 ||
-      opts.batch_size == 0 || opts.publish_every == 0) {
+      opts.batch_size == 0 || opts.publish_every == 0 || opts.hot_set == 0) {
     return Usage();
   }
 
@@ -331,6 +396,18 @@ int CmdServeSim(const std::vector<const char*>& args) {
     manager_options.policy = PublishPolicy::EveryNUpdates(opts.publish_every);
     std::printf("policy: every %zu effective updates\n", opts.publish_every);
   }
+
+  ReaderWorkload workload;
+  if (opts.zipf_s > 0) {
+    workload = ReaderWorkload::ZipfHotSet(opts.zipf_s, opts.hot_set);
+    std::printf("workload: Zipf(s = %.2f) hot set of %zu pairs\n", opts.zipf_s,
+                opts.hot_set);
+  } else {
+    std::printf("workload: uniform endpoints\n");
+  }
+  const AnswerCacheOptions cache_options = opts.cache == CacheMode::kExact
+                                               ? AnswerCacheOptions::ExactOnly()
+                                               : AnswerCacheOptions{};
 
   // Boolean-match load only runs on labeled graphs (ServeLoadPatterns
   // returns an empty set otherwise); reach load always runs.
@@ -373,7 +450,7 @@ int CmdServeSim(const std::vector<const char*>& args) {
     for (size_t r = 0; r < opts.readers; ++r) {
       readers.emplace_back([&, r] {
         const ReaderLoadCounters counters =
-            RunReaderLoad(service, patterns, 100 + r, done);
+            RunReaderLoad(service, patterns, 100 + r, done, workload);
         reach_queries.fetch_add(counters.reach_queries,
                                 std::memory_order_relaxed);
         match_queries.fetch_add(counters.match_queries,
@@ -417,6 +494,11 @@ int CmdServeSim(const std::vector<const char*>& args) {
           snap->boundary_exits().size(), snap->reach_gr().size(),
           snap->pattern_gr().size());
     }
+    if (opts.cache != CacheMode::kOff) {
+      const CachedShardedQueryService cached(manager, cache_options);
+      RunCacheComparison(service, cached, workload,
+                         std::min(opts.duration_secs, 1.0), opts.readers);
+    }
     return 0;
   }
 
@@ -431,7 +513,7 @@ int CmdServeSim(const std::vector<const char*>& args) {
   for (size_t r = 0; r < opts.readers; ++r) {
     readers.emplace_back([&, r] {
       const ReaderLoadCounters counters =
-          RunReaderLoad(service, patterns, 100 + r, done);
+          RunReaderLoad(service, patterns, 100 + r, done, workload);
       reach_queries.fetch_add(counters.reach_queries,
                               std::memory_order_relaxed);
       match_queries.fetch_add(counters.match_queries,
@@ -477,6 +559,11 @@ int CmdServeSim(const std::vector<const char*>& args) {
       static_cast<double>(match_queries.load()) / elapsed, opts.readers,
       FormatBytes(final_snap->MemoryBytes()).c_str(),
       final_snap->reach_gr().size(), final_snap->pattern_gr().size());
+  if (opts.cache != CacheMode::kOff) {
+    const CachedQueryService cached(manager, cache_options);
+    RunCacheComparison(service, cached, workload,
+                       std::min(opts.duration_secs, 1.0), opts.readers);
+  }
   return 0;
 }
 
