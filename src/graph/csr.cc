@@ -69,6 +69,33 @@ void CsrGraph::RefreezeMapped(
   in_offsets_[new_n] = in_targets_.size();
 }
 
+void CsrGraph::AdoptCsr(std::vector<uint64_t> out_offsets,
+                        std::vector<NodeId> out_targets,
+                        std::vector<Label> labels) {
+  QPGC_CHECK(!out_offsets.empty() && out_offsets.front() == 0 &&
+             out_offsets.back() == out_targets.size());
+  const size_t n = out_offsets.size() - 1;
+  QPGC_CHECK(labels.size() == n);
+  out_offsets_ = std::move(out_offsets);
+  out_targets_ = std::move(out_targets);
+  labels_ = std::move(labels);
+  // Derive the in-direction: count in-degrees, prefix-sum, fill. Filling in
+  // (u ascending, v ascending) order keeps every in-run sorted.
+  in_offsets_.assign(n + 1, 0);
+  for (const NodeId v : out_targets_) {
+    QPGC_DCHECK(v < n);
+    ++in_offsets_[v + 1];
+  }
+  for (size_t v = 1; v <= n; ++v) in_offsets_[v] += in_offsets_[v - 1];
+  in_targets_.resize(out_targets_.size());
+  std::vector<uint64_t> cursor(in_offsets_.begin(), in_offsets_.end() - 1);
+  for (NodeId u = 0; u < n; ++u) {
+    for (uint64_t e = out_offsets_[u]; e < out_offsets_[u + 1]; ++e) {
+      in_targets_[cursor[out_targets_[e]]++] = u;
+    }
+  }
+}
+
 size_t CsrGraph::CountDistinctLabels() const {
   return qpgc::CountDistinctLabels(*this);
 }

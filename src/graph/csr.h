@@ -59,6 +59,16 @@ class QPGC_GSL_OWNER CsrGraph {
       const Graph& g, const std::vector<NodeId>& remap, size_t new_n,
       std::vector<std::pair<NodeId, NodeId>>* dropped_out_edges = nullptr);
 
+  /// Adopts externally assembled out-direction CSR arrays (every per-node
+  /// run sorted ascending and deduplicated; offsets has num_nodes + 1
+  /// entries with offsets[0] == 0) plus labels, and derives the
+  /// in-direction in one counting pass. This is the freeze path for code
+  /// that already produces flat sorted adjacency — the router's stitched
+  /// quotient assembler (serve/router.cc) — and skips the dynamic-Graph
+  /// round trip of Refreeze.
+  void AdoptCsr(std::vector<uint64_t> out_offsets,
+                std::vector<NodeId> out_targets, std::vector<Label> labels);
+
   size_t num_nodes() const { return out_offsets_.size() - 1; }
   size_t num_edges() const { return out_targets_.size(); }
   /// Graph size |G| = |V| + |E| (the paper's measure).

@@ -2,6 +2,10 @@
 
 #include "graph/shard_view.h"
 
+#include <algorithm>
+#include <cstring>
+
+#include "graph/scc.h"
 #include "util/hash.h"
 
 namespace qpgc {
@@ -29,6 +33,101 @@ ShardPartition ShardPartition::Contiguous(size_t num_nodes, uint32_t k) {
     part.shard_of[v] = static_cast<uint32_t>(span == 0 ? 0 : v / span);
   }
   return part;
+}
+
+ShardPartition ShardPartition::Structure(const Graph& g, uint32_t k) {
+  QPGC_CHECK(k >= 1);
+  const size_t n = g.num_nodes();
+  ShardPartition part;
+  part.num_shards = k;
+  part.shard_of.assign(n, 0);
+  if (n == 0 || k == 1) return part;
+
+  // Tarjan assigns component ids in reverse topological order, so iterating
+  // components from high id to low id walks the condensation topologically.
+  // Bucketing nodes by component id (a counting sort — members stay in
+  // ascending node order within a component) therefore yields an order where
+  // every SCC is one consecutive run and inter-SCC edges point forward.
+  const SccResult scc = ComputeScc(g);
+  std::vector<uint32_t> bucket_start(scc.num_components + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    ++bucket_start[scc.num_components - 1 - scc.component[v]];
+  }
+  uint32_t acc = 0;
+  for (size_t c = 0; c <= scc.num_components; ++c) {
+    const uint32_t count = c < scc.num_components ? bucket_start[c] : 0;
+    bucket_start[c] = acc;
+    acc += count;
+  }
+  std::vector<NodeId> order(n);
+  {
+    std::vector<uint32_t> cursor(bucket_start.begin(), bucket_start.end() - 1);
+    for (NodeId v = 0; v < n; ++v) {
+      order[cursor[scc.num_components - 1 - scc.component[v]]++] = v;
+    }
+  }
+  // Balanced contiguous cut of the structural order, with chunk boundaries
+  // snapped forward to the next SCC boundary when that keeps the chunk
+  // within 1.5x of the ideal span — small cycles stay co-sharded, while an
+  // SCC larger than the slack still splits rather than starving later
+  // shards.
+  const size_t span = (n + k - 1) / k;
+  const size_t slack = span + span / 2;
+  size_t pos = 0;
+  for (uint32_t shard = 0; shard < k && pos < n; ++shard) {
+    size_t end = shard + 1 == k ? n : std::min(n, pos + span);
+    if (shard + 1 < k) {
+      // Advance to the end of the SCC straddling `end`, within the slack.
+      size_t snapped = end;
+      while (snapped < n && snapped > pos &&
+             scc.component[order[snapped]] ==
+                 scc.component[order[snapped - 1]]) {
+        ++snapped;
+      }
+      if (snapped - pos <= slack) end = snapped;
+    }
+    for (size_t i = pos; i < end; ++i) part.shard_of[order[i]] = shard;
+    pos = end;
+  }
+  return part;
+}
+
+bool ParsePartitionerKind(const char* name, PartitionerKind* out) {
+  if (std::strcmp(name, "hash") == 0) {
+    *out = PartitionerKind::kHash;
+  } else if (std::strcmp(name, "contiguous") == 0) {
+    *out = PartitionerKind::kContiguous;
+  } else if (std::strcmp(name, "structure") == 0) {
+    *out = PartitionerKind::kStructure;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* PartitionerKindName(PartitionerKind kind) {
+  switch (kind) {
+    case PartitionerKind::kHash:
+      return "hash";
+    case PartitionerKind::kContiguous:
+      return "contiguous";
+    case PartitionerKind::kStructure:
+      return "structure";
+  }
+  return "hash";
+}
+
+ShardPartition BuildPartition(PartitionerKind kind, const Graph& g, uint32_t k,
+                              uint64_t hash_seed) {
+  switch (kind) {
+    case PartitionerKind::kContiguous:
+      return ShardPartition::Contiguous(g.num_nodes(), k);
+    case PartitionerKind::kStructure:
+      return ShardPartition::Structure(g, k);
+    case PartitionerKind::kHash:
+      break;
+  }
+  return ShardPartition::Hash(g.num_nodes(), k, hash_seed);
 }
 
 }  // namespace qpgc

@@ -111,7 +111,40 @@ struct ShardPartition {
   /// Contiguous ranges of ceil(n / k) nodes. Generator families emit
   /// locality-correlated ids, so this is the locality-friendly baseline.
   static ShardPartition Contiguous(size_t num_nodes, uint32_t k);
+
+  /// Structure-aware partition: condenses g to its SCC DAG, orders nodes so
+  /// that each SCC's members are consecutive and SCCs appear in topological
+  /// order of the condensation, then cuts that order into k balanced
+  /// contiguous chunks. Cycles therefore never straddle a shard boundary
+  /// (unless a single SCC outgrows a chunk), and edges — which
+  /// overwhelmingly connect condensation-adjacent SCCs — mostly stay
+  /// within a chunk, so boundary sets shrink on graphs whose node ids do
+  /// not correlate with structure (docs/SHARDING.md). Ownership only: the
+  /// ghost-label invariant is a property of how ShardView / MaterializeShard
+  /// label non-owned nodes, so it holds under any ownership map, this one
+  /// included.
+  static ShardPartition Structure(const Graph& g, uint32_t k);
 };
+
+/// Partitioner selector shared by the CLI (`qpgc_tool --partitioner=`),
+/// serve-sim, and ShardedManagerOptions.
+enum class PartitionerKind {
+  kHash,        ///< ShardPartition::Hash — structure-blind workhorse.
+  kContiguous,  ///< ShardPartition::Contiguous — id-locality baseline.
+  kStructure,   ///< ShardPartition::Structure — SCC-coarsened topo chunks.
+};
+
+/// Parses "hash" / "contiguous" / "structure"; returns false on anything
+/// else (boundary-validating callers reject instead of aborting).
+bool ParsePartitionerKind(const char* name, PartitionerKind* out);
+
+/// The canonical name for `kind` (inverse of ParsePartitionerKind).
+const char* PartitionerKindName(PartitionerKind kind);
+
+/// Builds the partition `kind` over g's node universe (the graph is only
+/// inspected by kStructure; the others use just the node count).
+ShardPartition BuildPartition(PartitionerKind kind, const Graph& g, uint32_t k,
+                              uint64_t hash_seed = 0);
 
 /// Read-only GraphView of one shard of a base view (see file comment):
 /// nodes = the full universe, edges = base edges whose source is owned,

@@ -4,17 +4,26 @@
 // the read-path half of sharded serving. Answers are *exact* — bit-identical
 // to evaluating on the unsharded graph — for all three query classes:
 //
-//  * Reach(u, v): boundary-crossing search. Any global path decomposes into
+//  * Reach(u, v): boundary-graph search over the frozen per-shard boundary
+//    summaries (serve/boundary_summary.h). Any global path decomposes into
 //    maximal within-shard segments stitched at ghost nodes (a segment's
 //    edges all live in the shard owning its sources; the segment ends where
-//    a non-owned target — a boundary exit — is reached). The router runs a
-//    BFS over such "entry" nodes: per wave it resolves, for every shard
-//    with pending entries, which of the shard's frozen boundary exits (and
-//    whether v itself) are reachable, with ONE multi-source sweep over that
-//    shard's reach quotient (ServingSnapshot::ReachManyNonEmpty). Newly
-//    reached exits become entries of their home shards. Exactness follows
-//    from each per-shard snapshot being query preserving for its subgraph
-//    (Theorem 2 per shard) plus the segment decomposition.
+//    a non-owned target — a boundary exit — is reached). Three cases cover
+//    a path u -> v: (1) it stays in shard_of(u) — resolved by ONE
+//    multi-source sweep over that shard's full reach quotient, which also
+//    seeds the boundary search with every exit u reaches; (2) it ends
+//    exactly at a boundary node — detected when the search visits that
+//    node; (3) its last segment starts at a visited entry owned by
+//    shard_of(v) — resolved by one final multi-source sweep over
+//    shard_of(v)'s quotient. Everything in between runs on the summaries:
+//    each visited entry seeds its block's summary node, summary nodes
+//    expand at most once per query, and stamped exit annotations become
+//    entries of their home shards. An entry with no summary row (its first
+//    cross-shard in-edge landed after its home shard's last publish) falls
+//    back to a live quotient sweep, so exactness never depends on publish
+//    ordering. Per query that is ~2 full sweeps plus a walk of the (much
+//    smaller) pruned summaries — this is what closed the routed-reach
+//    cliff; docs/SHARDING.md gives the full soundness argument.
 //
 //  * Match / BooleanMatch(q): evaluated on the *stitched pattern quotient*.
 //    Ghost nodes carry per-node unique labels (graph/shard_view.h), so
@@ -29,7 +38,10 @@
 //    (Theorem 4's proof only uses stability), so Match on the stitched
 //    quotient, expanded through the per-shard member indexes, equals Match
 //    on the original graph. The stitched quotient is built lazily once per
-//    pinned version vector and cached.
+//    pinned version vector; the service-level StitchCache additionally
+//    reuses it across version vectors whose pattern sides all carried over
+//    (reach-only publishes) and counts per-shard segment reuse — the
+//    stitch_reuse_ratio metric.
 //
 // Consistency model: each query pins one snapshot per shard (a version
 // vector). Because shards own disjoint edge sets, ANY version vector is a
@@ -85,16 +97,69 @@ StitchedPatternQuotient BuildStitchedPatternQuotient(
     const ShardPartition& part,
     const std::vector<std::shared_ptr<const ServingSnapshot>>& snaps);
 
+class PinnedShards;
+struct RouteTables;  // router.cc: per-shard boundary routing tables
+
+/// Cross-pin stitch cache, one per ShardedQueryService. A publish bumps a
+/// shard's version even when only its reach side moved, but the stitched
+/// pattern quotient depends only on the frozen *pattern* sides — which are
+/// pointer-shared across such versions (serve/snapshot_manager.h skips the
+/// pattern refreeze when no pattern update was kept). The cache keys on
+/// those pointers: when every shard's pattern side carried over, the
+/// previous stitched quotient is returned outright; otherwise it rebuilds
+/// and records how many per-shard segments carried over unchanged. The
+/// reused/total segment counts are the stitch_reuse_ratio metric
+/// (docs/SHARDING.md#incremental-stitch).
+class StitchCache {
+ public:
+  struct Stats {
+    /// Stitched quotients actually assembled / served straight from cache.
+    uint64_t builds = 0;
+    uint64_t full_reuses = 0;
+    /// Per-shard segments considered across all Stitch() calls, and how
+    /// many of them had an unchanged frozen pattern side.
+    uint64_t segments_total = 0;
+    uint64_t segments_reused = 0;
+
+    double reuse_ratio() const {
+      return segments_total == 0
+                 ? 0.0
+                 : static_cast<double>(segments_reused) / segments_total;
+    }
+  };
+
+  /// Returns the stitched quotient for `snaps`, from cache when every
+  /// shard's pattern side is unchanged. Thread-safe.
+  std::shared_ptr<const StitchedPatternQuotient> Stitch(
+      const ShardPartition& part,
+      const std::vector<std::shared_ptr<const ServingSnapshot>>& snaps)
+      QPGC_EXCLUDES(mu_);
+
+  Stats stats() const QPGC_EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  std::vector<std::shared_ptr<const FrozenPatternSide>> sides_
+      QPGC_GUARDED_BY(mu_);
+  std::shared_ptr<const StitchedPatternQuotient> stitched_
+      QPGC_GUARDED_BY(mu_);
+  Stats stats_ QPGC_GUARDED_BY(mu_);
+};
+
 /// A consistent pinned vector of per-shard snapshots with the query surface
 /// of a single ServingSnapshot. Create via ShardedQueryService::Pin() (or
 /// directly from AcquireAll() in tests). Non-copyable; share by shared_ptr.
 class PinnedShards {
  public:
+  /// `stitch_cache` may be null (tests / direct pins): the stitched
+  /// quotient is then built from scratch for this pin.
   PinnedShards(std::shared_ptr<const ShardPartition> part,
-               std::vector<std::shared_ptr<const ServingSnapshot>> snaps);
+               std::vector<std::shared_ptr<const ServingSnapshot>> snaps,
+               std::shared_ptr<StitchCache> stitch_cache = nullptr);
 
   PinnedShards(const PinnedShards&) = delete;
   PinnedShards& operator=(const PinnedShards&) = delete;
+  ~PinnedShards();  // out of line: RouteTables is incomplete here
 
   /// |V| of the (global) original graph.
   size_t original_num_nodes() const { return part_->num_nodes(); }
@@ -131,10 +196,19 @@ class PinnedShards {
   const StitchedPatternQuotient& stitched() const QPGC_LIFETIME_BOUND;
 
  private:
+  /// Per-shard routing tables for the boundary search, laid out parallel to
+  /// the frozen exit lists so the hot loops stream them sequentially
+  /// instead of probing per-node hash/entry tables; built lazily once per
+  /// version vector (router.cc has the layout).
+  const RouteTables& route_tables() const QPGC_LIFETIME_BOUND;
+
   std::shared_ptr<const ShardPartition> part_;
   std::vector<std::shared_ptr<const ServingSnapshot>> snaps_;
+  std::shared_ptr<StitchCache> stitch_cache_;
   mutable std::once_flag stitched_once_;
-  mutable std::unique_ptr<const StitchedPatternQuotient> stitched_;
+  mutable std::shared_ptr<const StitchedPatternQuotient> stitched_;
+  mutable std::once_flag route_tables_once_;
+  mutable std::unique_ptr<const RouteTables> route_tables_;
 };
 
 /// The sharded counterpart of QueryService: each call pins a version vector
@@ -143,7 +217,7 @@ class PinnedShards {
 class ShardedQueryService {
  public:
   explicit ShardedQueryService(const ShardedSnapshotManager& manager)
-      : manager_(manager) {}
+      : manager_(manager), stitch_cache_(std::make_shared<StitchCache>()) {}
 
   /// Pins the current per-shard snapshots (for multi-query consistency).
   /// Returns the cached pin when no shard has published since.
@@ -162,8 +236,13 @@ class ShardedQueryService {
     return Pin()->BooleanMatch(q);
   }
 
+  /// Stitched-quotient reuse counters across this service's pins (the
+  /// stitch_reuse_ratio metric).
+  StitchCache::Stats stitch_stats() const { return stitch_cache_->stats(); }
+
  private:
   const ShardedSnapshotManager& manager_;
+  const std::shared_ptr<StitchCache> stitch_cache_;
   // Guards only the cached pin; queries run on the pinned snapshots
   // lock-free once Pin() returns.
   mutable Mutex pins_mu_;

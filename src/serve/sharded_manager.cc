@@ -25,32 +25,60 @@ ShardedSnapshotManager::ExitTable::Current() {
   return published;
 }
 
+std::shared_ptr<const std::vector<NodeId>>
+ShardedSnapshotManager::EntryTable::Current() {
+  MutexLock lock(mu);
+  if (dirty) {
+    auto entries = std::make_shared<std::vector<NodeId>>();
+    entries->reserve(refcount.size());
+    for (const auto& [v, count] : refcount) {
+      QPGC_DCHECK(count > 0);
+      entries->push_back(v);
+    }
+    std::sort(entries->begin(), entries->end());
+    published = std::move(entries);
+    dirty = false;
+  }
+  return published;
+}
+
 ShardedSnapshotManager::ShardedSnapshotManager(const Graph& g,
                                                ShardedManagerOptions options) {
   QPGC_CHECK(options.num_shards >= 1);
-  ShardPartition part =
-      options.contiguous_partition
-          ? ShardPartition::Contiguous(g.num_nodes(), options.num_shards)
-          : ShardPartition::Hash(g.num_nodes(), options.num_shards,
-                                 options.partition_seed);
-  part_ = std::make_shared<const ShardPartition>(std::move(part));
+  part_ = std::make_shared<const ShardPartition>(BuildPartition(
+      options.partitioner, g, options.num_shards, options.partition_seed));
 
   exits_.resize(num_shards());
+  entries_.resize(num_shards());
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    exits_[s] = std::make_unique<ExitTable>();
+    entries_[s] = std::make_unique<EntryTable>();
+  }
+  // Seed both boundary tables from the initial cross-shard edges (still
+  // single-threaded: no locks needed, but the annotations require them).
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const uint32_t su = part_->shard_of[u];
+    for (const NodeId v : g.OutNeighbors(u)) {
+      const uint32_t sv = part_->shard_of[v];
+      if (sv == su) continue;
+      ++exits_[su]->refcount[v];
+      EntryTable& entry_table = *entries_[sv];
+      MutexLock lock(entry_table.mu);
+      ++entry_table.refcount[v];
+    }
+  }
   shards_.resize(num_shards());
   for (uint32_t s = 0; s < num_shards(); ++s) {
-    // Seed the exit table from the initial cross-shard edges; the provider
-    // bound below captures it, so even version 1 carries the right exits.
-    exits_[s] = std::make_unique<ExitTable>();
-    ExitTable& table = *exits_[s];
-    for (NodeId u = 0; u < g.num_nodes(); ++u) {
-      if (part_->shard_of[u] != s) continue;
-      for (const NodeId v : g.OutNeighbors(u)) {
-        if (part_->shard_of[v] != s) ++table.refcount[v];
-      }
-    }
+    // The providers bound here capture the tables, so even version 1
+    // carries the right boundary sets (and their summary).
+    ExitTable& exit_table = *exits_[s];
+    EntryTable& entry_table = *entries_[s];
     SnapshotManagerOptions shard_options = options.shard_options;
-    shard_options.boundary_exits_provider = [&table] {
-      return table.Current();
+    shard_options.boundary_exits_provider = [&exit_table] {
+      return exit_table.Current();
+    };
+    shard_options.boundary_entries_provider = [&entry_table] {
+      return entry_table.Current();
     };
     shards_[s] = std::make_unique<SnapshotManager>(
         MaterializeShard(g, *part_, s), std::move(shard_options));
@@ -78,7 +106,9 @@ ApplyStats ShardedSnapshotManager::ApplyToShard(uint32_t shard,
   return shards_[shard]->Apply(batch, [&](const UpdateBatch& effective) {
     for (const EdgeUpdate& up : effective.updates) {
       QPGC_DCHECK(part.shard_of[up.u] == shard);
-      if (part.shard_of[up.v] == shard) continue;
+      const uint32_t target_shard = part.shard_of[up.v];
+      if (target_shard == shard) continue;
+      // This shard's exit table: lock-free under single-writer-per-shard.
       if (up.is_insert) {
         if (++table.refcount[up.v] == 1) table.dirty = true;
       } else {
@@ -87,6 +117,24 @@ ApplyStats ShardedSnapshotManager::ApplyToShard(uint32_t shard,
         if (--it->second == 0) {
           table.refcount.erase(it);
           table.dirty = true;
+        }
+      }
+      // The *target* shard's entry table: cross-thread (its owner's writer
+      // publishes it), hence the lock. Note the target shard learns about
+      // a new entry only at its own next publish; until then its frozen
+      // summary has no row for it and the router falls back to a live
+      // sweep for that entry (serve/router.cc) — exactness never depends
+      // on publish ordering across shards.
+      EntryTable& entry_table = *entries_[target_shard];
+      MutexLock lock(entry_table.mu);
+      if (up.is_insert) {
+        if (++entry_table.refcount[up.v] == 1) entry_table.dirty = true;
+      } else {
+        auto it = entry_table.refcount.find(up.v);
+        QPGC_CHECK(it != entry_table.refcount.end() && it->second > 0);
+        if (--it->second == 0) {
+          entry_table.refcount.erase(it);
+          entry_table.dirty = true;
         }
       }
     }
@@ -111,6 +159,13 @@ std::vector<PublishStats> ShardedSnapshotManager::PublishAll(FreezeMode mode) {
 size_t ShardedSnapshotManager::BoundaryExitCount(uint32_t shard) const {
   QPGC_CHECK(shard < num_shards());
   return exits_[shard]->refcount.size();
+}
+
+size_t ShardedSnapshotManager::BoundaryEntryCount(uint32_t shard) const {
+  QPGC_CHECK(shard < num_shards());
+  EntryTable& table = *entries_[shard];
+  MutexLock lock(table.mu);
+  return table.refcount.size();
 }
 
 std::vector<std::shared_ptr<const ServingSnapshot>>

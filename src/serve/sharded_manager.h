@@ -11,21 +11,33 @@
 // K-ways, and each shard's publish freezes a quotient ~1/K the size of the
 // whole graph's.
 //
-// Cross-shard bookkeeping is limited to one structure per shard: the
-// boundary-exit refcount table — for each ghost node v, how many live edges
-// of this shard point at v. Its snapshot (the sorted set of ghosts with
-// refcount > 0) is frozen into every published ServingSnapshot via the
-// manager options' boundary_exits_provider, so the router's
-// boundary-crossing search always walks exits consistent with the pinned
-// version. Query routing and answer merging live in serve/router.h.
-// Single-writer-per-shard is a contract, not a lock — docs/CONCURRENCY.md
-// lists which contracts are lock-checked and which are TSan-checked.
+// Cross-shard bookkeeping is limited to two structures per shard, both
+// refcount tables over live cross-shard edges:
+//  * the boundary-*exit* table — for each ghost node v, how many live
+//    edges of this shard point at v. Written only by this shard's own
+//    writer (every counted edge is one of this shard's edges), so it needs
+//    no lock under the single-writer-per-shard contract.
+//  * the boundary-*entry* table — for each owned node v, how many live
+//    edges of *other* shards point at v. Updated by those shards' writers
+//    (an edge (u, v) is applied by shard_of(u)'s writer) and read by this
+//    shard's publish, so it is the one genuinely cross-thread structure
+//    here and sits behind an annotated qpgc::Mutex.
+// Snapshots of both (the sorted sets with refcount > 0) are frozen into
+// every published ServingSnapshot via the manager options' boundary
+// providers, together with the FrozenBoundarySummary built from them
+// (serve/boundary_summary.h), so the router's boundary-graph search always
+// walks boundary state consistent with the pinned version. Query routing
+// and answer merging live in serve/router.h; the whole sharding story is
+// docs/SHARDING.md. Single-writer-per-shard is a contract, not a lock —
+// docs/CONCURRENCY.md lists which contracts are lock-checked and which are
+// TSan-checked.
 //
 // Thread-safety contract:
 //  * Construction: single thread.
 //  * Writer side: at most one writer thread *per shard* may call
 //    ApplyToShard(shard, ...) / PublishShard(shard, ...); distinct shards
-//    are fully independent and may be driven concurrently. The convenience
+//    are otherwise independent and may be driven concurrently (their only
+//    touch point, the entry tables, is locked). The convenience
 //    Apply()/PublishAll() drive every shard from the calling thread and
 //    therefore require exclusive write access to all shards.
 //  * Read side: AcquireAll() (and the router built on it) may be called
@@ -48,6 +60,7 @@
 #include "graph/shard_view.h"
 #include "serve/snapshot_manager.h"
 #include "util/lifetime_annotations.h"
+#include "util/thread_annotations.h"
 
 namespace qpgc {
 
@@ -55,13 +68,16 @@ struct ShardedManagerOptions {
   /// Number of shards K >= 1. K = 1 degenerates to a single SnapshotManager
   /// with no ghosts and empty exit tables (the differential baseline).
   uint32_t num_shards = 1;
-  /// Seed of the hash partition (ignored for contiguous partitioning).
+  /// Seed of the hash partition (ignored by the other partitioners).
   uint64_t partition_seed = 0;
-  /// Use contiguous node ranges instead of hash assignment (locality-
-  /// friendly when node ids correlate with structure).
-  bool contiguous_partition = false;
+  /// How nodes are assigned to shards (graph/shard_view.h): hash (the
+  /// structure-blind workhorse), contiguous id ranges (locality-friendly
+  /// when ids correlate with structure), or the SCC-coarsened structure
+  /// partitioner (docs/SHARDING.md discusses the trade-offs).
+  PartitionerKind partitioner = PartitionerKind::kHash;
   /// Per-shard manager options (publish policy, compression engines). The
-  /// boundary_exits_provider field is overwritten per shard.
+  /// boundary_exits_provider / boundary_entries_provider fields are
+  /// overwritten per shard.
   SnapshotManagerOptions shard_options;
 };
 
@@ -105,6 +121,10 @@ class ShardedSnapshotManager {
   /// (writer-side inspection of the exit table).
   size_t BoundaryExitCount(uint32_t shard) const;
 
+  /// Number of owned nodes of `shard` that other shards currently point at
+  /// (inspection of the entry table; takes its lock, any thread).
+  size_t BoundaryEntryCount(uint32_t shard) const;
+
   // --- Read side (any thread) -----------------------------------------------
 
   /// Pins the current snapshot of every shard (never null entries). Index
@@ -139,8 +159,23 @@ class ShardedSnapshotManager {
     std::shared_ptr<const std::vector<NodeId>> Current();
   };
 
+  // Live cross-shard edge counts into each *owned* node of one shard —
+  // the mirror image of ExitTable, but written by the *other* shards'
+  // writers (the shard owning an edge's source applies it), so everything
+  // here is mutex-guarded; Current() shares the same
+  // rebuild-only-on-membership-change vector discipline.
+  struct EntryTable {
+    Mutex mu;
+    std::unordered_map<NodeId, uint32_t> refcount QPGC_GUARDED_BY(mu);
+    std::shared_ptr<const std::vector<NodeId>> published QPGC_GUARDED_BY(mu);
+    bool dirty QPGC_GUARDED_BY(mu) = true;
+
+    std::shared_ptr<const std::vector<NodeId>> Current() QPGC_EXCLUDES(mu);
+  };
+
   std::shared_ptr<const ShardPartition> part_;
   std::vector<std::unique_ptr<ExitTable>> exits_;
+  std::vector<std::unique_ptr<EntryTable>> entries_;
   std::vector<std::unique_ptr<SnapshotManager>> shards_;
 };
 

@@ -129,17 +129,46 @@ void ServingSnapshot::Freeze(uint64_t version, const ReachCompression& rc,
   pattern->Fill(pc);
   pattern_ = std::move(pattern);
   boundary_exits_.reset();
+  boundary_summary_.reset();
+  exit_block_.clear();
+  block_exit_offsets_.clear();
+  block_exit_index_.clear();
 }
 
 void ServingSnapshot::Adopt(
     uint64_t version, std::shared_ptr<const FrozenReachSide> reach,
     std::shared_ptr<const FrozenPatternSide> pattern,
-    std::shared_ptr<const std::vector<NodeId>> boundary_exits) {
+    std::shared_ptr<const std::vector<NodeId>> boundary_exits,
+    std::shared_ptr<const FrozenBoundarySummary> boundary_summary) {
   QPGC_CHECK(reach != nullptr && pattern != nullptr);
   version_ = version;
   reach_ = std::move(reach);
   pattern_ = std::move(pattern);
   boundary_exits_ = std::move(boundary_exits);
+  boundary_summary_ = std::move(boundary_summary);
+  exit_block_.clear();
+  block_exit_offsets_.clear();
+  block_exit_index_.clear();
+  if (boundary_exits_ != nullptr) {
+    exit_block_.reserve(boundary_exits_->size());
+    for (const NodeId x : *boundary_exits_) {
+      exit_block_.push_back(reach_->node_map[x]);
+    }
+    // Inverse: exit indexes grouped by block (counting sort — exits are
+    // few, blocks many).
+    block_exit_offsets_.assign(reach_->gr.num_nodes() + 1, 0);
+    for (const NodeId b : exit_block_) ++block_exit_offsets_[b + 1];
+    for (size_t b = 1; b < block_exit_offsets_.size(); ++b) {
+      block_exit_offsets_[b] += block_exit_offsets_[b - 1];
+    }
+    block_exit_index_.resize(exit_block_.size());
+    std::vector<uint32_t> cursor(block_exit_offsets_.begin(),
+                                 block_exit_offsets_.end() - 1);
+    for (size_t i = 0; i < exit_block_.size(); ++i) {
+      block_exit_index_[cursor[exit_block_[i]]++] =
+          static_cast<NodeId>(i);
+    }
+  }
 }
 
 void ServingSnapshot::Reset() {
@@ -147,6 +176,10 @@ void ServingSnapshot::Reset() {
   reach_.reset();
   pattern_.reset();
   boundary_exits_.reset();
+  boundary_summary_.reset();
+  exit_block_.clear();
+  block_exit_offsets_.clear();
+  block_exit_index_.clear();
 }
 
 const std::vector<NodeId>& ServingSnapshot::boundary_exits() const {
@@ -169,10 +202,11 @@ bool ServingSnapshot::Reach(NodeId u, NodeId v, PathMode mode,
 
 namespace {
 
-// Per-thread BFS scratch for ReachManyNonEmpty: an epoch-stamped visited
-// array avoids both per-call allocation and per-call clearing.
+// Per-thread BFS scratch for ReachManyNonEmpty: epoch-stamped visited and
+// source-block arrays avoid both per-call allocation and per-call clearing.
 struct ReachScratch {
   std::vector<uint32_t> stamp;
+  std::vector<uint32_t> src_stamp;
   std::vector<NodeId> queue;
   uint32_t epoch = 0;
 };
@@ -185,11 +219,15 @@ thread_local ReachScratch t_reach_scratch;
 // (a source class itself counts as reached only when some edge — its
 // self-loop for a cyclic class, or a longer cycle — comes back) and
 // returns that epoch for the caller's probes.
-uint32_t MultiSourceSweep(const CsrGraph& gr, const std::vector<NodeId>& map,
+// The source classes may be given either as original node ids (mapped
+// through `map`) or directly as quotient block ids (`map` == nullptr — the
+// router's route tables precompute the blocks).
+uint32_t MultiSourceSweep(const CsrGraph& gr, const std::vector<NodeId>* map,
                           std::span<const NodeId> sources) {
   ReachScratch& scratch = t_reach_scratch;
   if (scratch.stamp.size() < gr.num_nodes() || scratch.epoch == UINT32_MAX) {
     scratch.stamp.assign(gr.num_nodes(), 0);
+    scratch.src_stamp.assign(gr.num_nodes(), 0);
     scratch.epoch = 0;
   }
   const uint32_t epoch = ++scratch.epoch;
@@ -197,8 +235,16 @@ uint32_t MultiSourceSweep(const CsrGraph& gr, const std::vector<NodeId>& map,
   std::vector<NodeId>& queue = scratch.queue;
   queue.clear();
   for (const NodeId s : sources) {
-    QPGC_DCHECK(s < map.size());
-    for (const NodeId w : gr.OutNeighbors(map[s])) {
+    // Many sources share a class (boundary-entry waves collapse onto hub
+    // blocks); scanning a hub's fan-out once per *source* instead of once
+    // per *class* used to dominate wide waves. The stamps only suppress
+    // re-scans, not reachability: the class's out-edges are expanded the
+    // first time it is seen.
+    const NodeId b = map == nullptr ? s : (*map)[s];
+    QPGC_DCHECK(b < gr.num_nodes());
+    if (scratch.src_stamp[b] == epoch) continue;
+    scratch.src_stamp[b] = epoch;
+    for (const NodeId w : gr.OutNeighbors(b)) {
       if (stamp[w] != epoch) {
         stamp[w] = epoch;
         queue.push_back(w);
@@ -225,7 +271,7 @@ void ServingSnapshot::ReachManyNonEmpty(std::span<const NodeId> sources,
   reached.assign(targets.size(), 0);
   if (sources.empty() || targets.empty()) return;
   const std::vector<NodeId>& map = reach_->node_map;
-  const uint32_t epoch = MultiSourceSweep(reach_->gr, map, sources);
+  const uint32_t epoch = MultiSourceSweep(reach_->gr, &map, sources);
   const std::vector<uint32_t>& stamp = t_reach_scratch.stamp;
   for (size_t i = 0; i < targets.size(); ++i) {
     QPGC_DCHECK(targets[i] < map.size());
@@ -235,19 +281,35 @@ void ServingSnapshot::ReachManyNonEmpty(std::span<const NodeId> sources,
 
 bool ServingSnapshot::ResolveWave(std::span<const NodeId> sources,
                                   NodeId target,
-                                  std::vector<char>& exit_reached) const {
+                                  std::vector<NodeId>& reached_exits) const {
   QPGC_CHECK(reach_ != nullptr);
-  const std::vector<NodeId>& exits = boundary_exits();
-  exit_reached.assign(exits.size(), 0);
+  reached_exits.clear();
   if (sources.empty()) return false;
   const std::vector<NodeId>& map = reach_->node_map;
-  const uint32_t epoch = MultiSourceSweep(reach_->gr, map, sources);
-  const std::vector<uint32_t>& stamp = t_reach_scratch.stamp;
-  for (size_t i = 0; i < exits.size(); ++i) {
-    exit_reached[i] = stamp[map[exits[i]]] == epoch ? 1 : 0;
+  const uint32_t epoch = MultiSourceSweep(reach_->gr, &map, sources);
+  // The sweep's queue is exactly the set of stamped blocks, each once:
+  // emit their exit-index runs instead of probing the stamp per exit.
+  if (!block_exit_offsets_.empty()) {
+    for (const NodeId b : t_reach_scratch.queue) {
+      for (uint32_t j = block_exit_offsets_[b]; j < block_exit_offsets_[b + 1];
+           ++j) {
+        reached_exits.push_back(block_exit_index_[j]);
+      }
+    }
   }
   QPGC_DCHECK(target < map.size());
-  return stamp[map[target]] == epoch;
+  return t_reach_scratch.stamp[map[target]] == epoch;
+}
+
+bool ServingSnapshot::ResolveTargetBlocks(std::span<const NodeId> source_blocks,
+                                          NodeId target) const {
+  QPGC_CHECK(reach_ != nullptr);
+  if (source_blocks.empty()) return false;
+  const std::vector<NodeId>& map = reach_->node_map;
+  const uint32_t epoch =
+      MultiSourceSweep(reach_->gr, /*map=*/nullptr, source_blocks);
+  QPGC_DCHECK(target < map.size());
+  return t_reach_scratch.stamp[map[target]] == epoch;
 }
 
 MatchResult ServingSnapshot::Match(const PatternQuery& q) const {
@@ -269,7 +331,8 @@ bool ServingSnapshot::BooleanMatch(const PatternQuery& q) const {
 size_t ServingSnapshot::MemoryBytes() const {
   return (reach_ == nullptr ? 0 : reach_->MemoryBytes()) +
          (pattern_ == nullptr ? 0 : pattern_->MemoryBytes()) +
-         VectorBytes(boundary_exits());
+         VectorBytes(boundary_exits()) +
+         (boundary_summary_ == nullptr ? 0 : boundary_summary_->MemoryBytes());
 }
 
 }  // namespace qpgc

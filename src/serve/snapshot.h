@@ -18,11 +18,14 @@
 // per-side incremental stats).
 //
 // Sharded serving additionally stamps each per-shard snapshot with its
-// *boundary-exit table*: the ghost nodes (non-owned nodes, see
+// *boundary-exit table* — the ghost nodes (non-owned nodes, see
 // graph/shard_view.h) that have in-edges inside this shard, i.e. the nodes
-// where a path can leave the shard. The router's boundary-crossing search
-// (serve/router.h) walks these; freezing them into the snapshot keeps the
-// exit set consistent with the frozen graph version by construction.
+// where a path can leave the shard — and its *boundary summary*
+// (serve/boundary_summary.h): the precomputed entry-to-exit reachability
+// slice of the reach quotient that the router's boundary-graph search
+// walks instead of sweeping whole quotients per query. Freezing both into
+// the snapshot keeps them consistent with the frozen graph version by
+// construction; docs/SHARDING.md has the full soundness story.
 //
 // Thread-safety contract:
 //  * Writer side (Freeze / Adopt / Reset): exactly one thread, and only on
@@ -55,6 +58,7 @@
 #include "pattern/pattern.h"
 #include "reach/compress_r.h"
 #include "reach/queries.h"
+#include "serve/boundary_summary.h"
 #include "util/lifetime_annotations.h"
 
 namespace qpgc {
@@ -134,9 +138,14 @@ class ServingSnapshot {
   /// `boundary_exits` must be sorted ascending (null or empty for
   /// unsharded serving); it is shared by pointer — consecutive versions
   /// whose exit membership did not change reuse one immutable vector.
+  /// `boundary_summary` (null for unsharded serving) must have been built
+  /// from the same reach side and exit table; the manager reuses the
+  /// previous version's summary when all three inputs carried over.
   void Adopt(uint64_t version, std::shared_ptr<const FrozenReachSide> reach,
              std::shared_ptr<const FrozenPatternSide> pattern,
-             std::shared_ptr<const std::vector<NodeId>> boundary_exits);
+             std::shared_ptr<const std::vector<NodeId>> boundary_exits,
+             std::shared_ptr<const FrozenBoundarySummary> boundary_summary =
+                 nullptr);
 
   /// Drops this snapshot's side references (releasing any sharing) and
   /// resets it to the empty state. Called when a retired shell returns to
@@ -170,11 +179,22 @@ class ServingSnapshot {
 
   /// One router wave against this shard: resolves, for every entry in
   /// `sources`, whether `target` is reachable (return value) and which of
-  /// this snapshot's boundary_exits() are (exit_reached[i], indexed like
-  /// boundary_exits()) — all by non-empty paths, in one sweep, without
-  /// copying the exit table. Thread-safe like ReachManyNonEmpty.
+  /// this snapshot's boundary_exits() are — appended to `reached_exits` as
+  /// *indexes into boundary_exits()*, in discovery order, each at most once
+  /// (the vector is cleared first) — all by non-empty paths, in one sweep.
+  /// Emitting indexes off the visited-block queue beats a stamp probe per
+  /// exit: most visited blocks carry no exits at all. Thread-safe like
+  /// ReachManyNonEmpty.
   bool ResolveWave(std::span<const NodeId> sources, NodeId target,
-                   std::vector<char>& exit_reached) const;
+                   std::vector<NodeId>& reached_exits) const;
+
+  /// The return-value half of ResolveWave alone, with sources given as
+  /// quotient block ids (reach_map() images): true iff some source block
+  /// reaches `target` by a non-empty path. The router's final case-3 sweep
+  /// uses this — its route tables carry each entry's block, and the sweep
+  /// needs no exit mask.
+  bool ResolveTargetBlocks(std::span<const NodeId> source_blocks,
+                           NodeId target) const;
 
   /// The maximum match of q, expanded back to original node ids (F = id,
   /// Match on the frozen quotient, then P; Theorem 4).
@@ -233,6 +253,27 @@ class ServingSnapshot {
   /// unsharded serving.
   const std::vector<NodeId>& boundary_exits() const QPGC_LIFETIME_BOUND;
 
+  /// The shared exit-table handle (pointer identity is the manager's
+  /// summary-reuse key); null for unsharded serving.
+  const std::shared_ptr<const std::vector<NodeId>>& boundary_exits_ptr()
+      const {
+    return boundary_exits_;
+  }
+
+  /// The frozen boundary summary (serve/boundary_summary.h) for the
+  /// router's boundary-graph search; null for unsharded serving. Pin-scope
+  /// rule applies.
+  const FrozenBoundarySummary* boundary_summary() const QPGC_LIFETIME_BOUND {
+    return boundary_summary_.get();
+  }
+
+  /// Shared handle to the summary (for cross-version reuse in the
+  /// manager's publish path).
+  const std::shared_ptr<const FrozenBoundarySummary>& boundary_summary_side()
+      const {
+    return boundary_summary_;
+  }
+
   /// Heap bytes held by this snapshot. Shared sides are counted in full in
   /// every snapshot that references them (per-handle accounting, not
   /// deduplicated across versions).
@@ -243,6 +284,15 @@ class ServingSnapshot {
   std::shared_ptr<const FrozenReachSide> reach_;
   std::shared_ptr<const FrozenPatternSide> pattern_;
   std::shared_ptr<const std::vector<NodeId>> boundary_exits_;
+  std::shared_ptr<const FrozenBoundarySummary> boundary_summary_;
+  // reach_map() image of each boundary exit, parallel to *boundary_exits_,
+  // plus its inverse — exit indexes grouped by quotient block (CSR) — both
+  // computed at Adopt. ResolveWave runs thousands of times per routed
+  // query; walking a visited block's (usually empty) exit-index run beats
+  // a node-map load and stamp probe per exit.
+  std::vector<NodeId> exit_block_;
+  std::vector<uint32_t> block_exit_offsets_;  // quotient nodes + 1
+  std::vector<NodeId> block_exit_index_;
 };
 
 }  // namespace qpgc

@@ -204,11 +204,41 @@ PublishStats SnapshotManager::Publish(FreezeMode mode) {
   if (options_.boundary_exits_provider) {
     exits = options_.boundary_exits_provider();
   }
+  std::shared_ptr<const std::vector<NodeId>> entries;
+  if (options_.boundary_entries_provider) {
+    entries = options_.boundary_entries_provider();
+  }
+
+  // The boundary summary (sharded serving only) is a pure function of the
+  // frozen reach quotient and the boundary sets, so it shares the sides'
+  // reuse story: when none of its three inputs moved, the previous
+  // version's summary carries over by pointer; otherwise it is rebuilt —
+  // two linear passes over the quotient (serve/boundary_summary.h), timed
+  // separately as the publish-cost delta the artifact adds.
+  std::shared_ptr<const FrozenBoundarySummary> summary;
+  if (exits != nullptr && entries != nullptr) {
+    const FrozenBoundarySummary* prev_summary =
+        prev == nullptr ? nullptr : prev->boundary_summary();
+    if (!freeze_reach && prev_summary != nullptr &&
+        prev->boundary_exits_ptr() == exits &&
+        prev_summary->entries_ptr() == entries) {
+      summary = prev->boundary_summary_side();
+    } else {
+      stats.froze_summary = true;
+      Timer summary_timer;
+      auto built = std::make_shared<FrozenBoundarySummary>();
+      built->Build(reach->gr, reach->node_map, std::move(exits),
+                   std::move(entries));
+      summary = std::move(built);
+      stats.summary_freeze_secs = summary_timer.ElapsedSeconds();
+      exits = summary->exits_ptr();
+    }
+  }
 
   std::unique_ptr<ServingSnapshot> shell = pool_->TakeShell();
   if (shell == nullptr) shell = std::make_unique<ServingSnapshot>();
   shell->Adopt(version_, std::move(reach), std::move(pattern),
-               std::move(exits));
+               std::move(exits), std::move(summary));
   stats.freeze_secs = freeze_timer.ElapsedSeconds();
 
   // Wrap the shell in a handle whose deleter releases its side shares and

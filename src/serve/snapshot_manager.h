@@ -119,6 +119,15 @@ struct SnapshotManagerOptions {
   /// unsharded serving.
   std::function<std::shared_ptr<const std::vector<NodeId>>()>
       boundary_exits_provider;
+  /// Sharded serving hook, symmetric to boundary_exits_provider: captures
+  /// the shard's current boundary-entry set (owned nodes with cross-shard
+  /// in-edges, sorted ascending). When both providers are set, Publish()
+  /// additionally freezes a FrozenBoundarySummary over the reach quotient
+  /// (reused from the previous version when reach side, exits, and entries
+  /// all carried over) — the artifact the router's boundary-graph search
+  /// runs on (docs/SHARDING.md). Null for unsharded serving.
+  std::function<std::shared_ptr<const std::vector<NodeId>>()>
+      boundary_entries_provider;
 };
 
 /// How Publish() treats artifacts the update stream left untouched.
@@ -145,6 +154,13 @@ struct PublishStats {
   /// FreezeMode::kFull was not requested).
   bool froze_reach = false;
   bool froze_pattern = false;
+  /// Whether the boundary summary was rebuilt (sharded serving only; false
+  /// when it was shared from the previous version along with its inputs,
+  /// and always false unsharded). Its build time — the publish-cost delta
+  /// the summary adds — is broken out in summary_freeze_secs (also counted
+  /// inside freeze_secs).
+  bool froze_summary = false;
+  double summary_freeze_secs = 0.0;
   /// True when the freeze recycled at least one retired *side* buffer
   /// (shell recycling, which carries no artifact data, is not counted).
   bool reused_buffer = false;

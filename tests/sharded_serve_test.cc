@@ -17,6 +17,9 @@
 #include <map>
 #include <memory>
 #include <thread>
+#include <string>
+#include <tuple>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -27,8 +30,10 @@
 #include "gen/uniform.h"
 #include "gen/update_gen.h"
 #include "graph/builder.h"
+#include "graph/scc.h"
 #include "graph/shard_view.h"
 #include "pattern/pattern_gen.h"
+#include "serve/boundary_summary.h"
 #include "serve/load_gen.h"
 #include "serve/router.h"
 #include "serve/sharded_manager.h"
@@ -207,19 +212,78 @@ TEST(ShardPartitionTest, SplitBatchRoutesBySourceAndKeepsOrder) {
   }
 }
 
+TEST(ShardPartitionTest, StructurePartitionKeepsSccsTogether) {
+  // Three 30-node cycles chained head-to-tail: sizable SCCs the structure
+  // partitioner must never split, in a graph whose node ids happen to be
+  // laid out in SCC order already. A second copy with scrambled ids checks
+  // the partitioner actually derives the layout from the condensation
+  // rather than inheriting it from the id space.
+  const auto build = [](const std::vector<NodeId>& perm) {
+    GraphBuilder builder(90);
+    for (NodeId c = 0; c < 3; ++c) {
+      const NodeId base = 30 * c;
+      for (NodeId i = 0; i < 30; ++i) {
+        builder.AddEdge(perm[base + i], perm[base + (i + 1) % 30]);
+      }
+      if (c > 0) builder.AddEdge(perm[base - 1], perm[base]);
+    }
+    return builder.Build();
+  };
+
+  std::vector<NodeId> identity(90);
+  for (NodeId v = 0; v < 90; ++v) identity[v] = v;
+  std::vector<NodeId> scrambled = identity;
+  Rng rng(77);
+  for (size_t i = scrambled.size(); i > 1; --i) {
+    std::swap(scrambled[i - 1], scrambled[rng.Uniform(i)]);
+  }
+
+  const std::pair<const char*, const std::vector<NodeId>*> cases[] = {
+      {"identity", &identity}, {"scrambled", &scrambled}};
+  for (const auto& [name, perm] : cases) {
+    SCOPED_TRACE(name);
+    const Graph g = build(*perm);
+    const ShardPartition part = ShardPartition::Structure(g, 3);
+    ASSERT_EQ(part.num_shards, 3u);
+    ASSERT_EQ(part.num_nodes(), g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      ASSERT_LT(part.shard_of[v], 3u);
+    }
+    // No SCC is split across shards.
+    const SccResult scc = ComputeScc(g);
+    ASSERT_EQ(scc.num_components, 3u);
+    for (size_t c = 0; c < scc.num_components; ++c) {
+      const uint32_t home = part.shard_of[scc.members[c].front()];
+      for (const NodeId v : scc.members[c]) {
+        EXPECT_EQ(part.shard_of[v], home) << "SCC " << c << " node " << v;
+      }
+    }
+    // With three equal SCCs and k = 3 the balanced cut lands exactly on the
+    // SCC boundaries: one cycle per shard, zero cross edges beyond the two
+    // chain links.
+    for (uint32_t s = 0; s < 3; ++s) {
+      EXPECT_EQ(part.OwnedNodes(s).size(), 30u) << "shard " << s;
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Differential correctness of routed queries, every family, K in {1, 2, 7},
-// through update rounds.
+// hash and structure partitioners, through update rounds.
 // ---------------------------------------------------------------------------
 
-class ShardedServingDifferentialTest : public ::testing::TestWithParam<int> {};
+class ShardedServingDifferentialTest
+    : public ::testing::TestWithParam<std::tuple<int, PartitionerKind>> {};
 
 TEST_P(ShardedServingDifferentialTest, RoutedAnswersEqualUnshardedOracle) {
-  const uint32_t k = static_cast<uint32_t>(GetParam());
+  const uint32_t k = static_cast<uint32_t>(std::get<0>(GetParam()));
+  const PartitionerKind partitioner = std::get<1>(GetParam());
   for (const auto& [name, initial] : FamilyCorpus()) {
+    SCOPED_TRACE(PartitionerKindName(partitioner));
     ShardedManagerOptions opts;
     opts.num_shards = k;
     opts.partition_seed = 29;
+    opts.partitioner = partitioner;
     ShardedSnapshotManager mgr(initial, opts);
     const ShardedQueryService service(mgr);
     EXPECT_EQ(mgr.num_shards(), k);
@@ -243,8 +307,16 @@ TEST_P(ShardedServingDifferentialTest, RoutedAnswersEqualUnshardedOracle) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(AllShardCounts, ShardedServingDifferentialTest,
-                         ::testing::Values(1, 2, 7));
+INSTANTIATE_TEST_SUITE_P(
+    AllShardCountsAndPartitioners, ShardedServingDifferentialTest,
+    ::testing::Combine(::testing::Values(1, 2, 7),
+                       ::testing::Values(PartitionerKind::kHash,
+                                         PartitionerKind::kStructure)),
+    [](const ::testing::TestParamInfo<std::tuple<int, PartitionerKind>>&
+           info) {
+      return "K" + std::to_string(std::get<0>(info.param)) + "_" +
+             PartitionerKindName(std::get<1>(info.param));
+    });
 
 // ---------------------------------------------------------------------------
 // Boundary-exit bookkeeping.
@@ -304,6 +376,125 @@ TEST(ShardedServingTest, BoundaryExitsTrackCrossShardEdges) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Frozen boundary summaries.
+// ---------------------------------------------------------------------------
+
+// For every boundary entry, the exit set read off the frozen summary (a BFS
+// over summary nodes collecting ExitsAt) must equal non-empty BFS
+// reachability from the entry to each exit on the materialized shard
+// subgraph. This pins the whole pipeline: quotient exactness, the
+// forward/backward pruning, and the entry/exit row layout.
+TEST(ShardedServingTest, BoundarySummaryMatchesShardReachabilityOracle) {
+  const Graph g = GenerateUniform(80, 260, 3, 33);
+  ShardedManagerOptions opts;
+  opts.num_shards = 3;
+  ShardedSnapshotManager mgr(g, opts);
+  const ShardPartition& part = mgr.partition();
+  const auto snaps = mgr.AcquireAll();
+  size_t entries_checked = 0;
+  for (uint32_t s = 0; s < 3; ++s) {
+    SCOPED_TRACE(s);
+    const FrozenBoundarySummary* summary = snaps[s]->boundary_summary();
+    ASSERT_NE(summary, nullptr);
+    const Graph shard_graph = MaterializeShard(g, part, s);
+    const std::vector<NodeId>& exits = *summary->exits_ptr();
+    EXPECT_EQ(exits, snaps[s]->boundary_exits());
+    for (const NodeId entry : *summary->entries_ptr()) {
+      ++entries_checked;
+      std::unordered_set<NodeId> got;
+      NodeId node = FrozenBoundarySummary::kNoSummaryNode;
+      ASSERT_TRUE(summary->LookupEntry(entry, &node));
+      if (node != FrozenBoundarySummary::kNoSummaryNode) {
+        std::vector<char> seen(summary->num_nodes(), 0);
+        std::vector<NodeId> stack;
+        const auto push = [&](NodeId w) {
+          if (!seen[w]) {
+            seen[w] = 1;
+            stack.push_back(w);
+          }
+        };
+        // Seed with out-neighbors, not the entry's own node: non-empty
+        // semantics, matching the router (a cyclic entry block has a
+        // self-loop and re-enters).
+        for (const NodeId w : summary->OutNeighbors(node)) push(w);
+        while (!stack.empty()) {
+          const NodeId w = stack.back();
+          stack.pop_back();
+          for (const NodeId x : summary->ExitsAt(w)) got.insert(x);
+          for (const NodeId y : summary->OutNeighbors(w)) push(y);
+        }
+      }
+      for (const NodeId exit : exits) {
+        EXPECT_EQ(got.count(exit) > 0,
+                  BfsReaches(shard_graph, entry, exit, PathMode::kNonEmpty))
+            << "entry " << entry << " exit " << exit;
+      }
+    }
+    // An unknown node (here: a ghost, never an owned entry) is reported as
+    // absent, not as an empty row — the router's fallback trigger.
+    if (!exits.empty()) {
+      NodeId ignored = 0;
+      EXPECT_FALSE(summary->LookupEntry(exits.front(), &ignored));
+    }
+  }
+  EXPECT_GT(entries_checked, 0u);
+}
+
+// A cross-shard edge whose target had no prior cross in-edges creates a
+// boundary entry the target shard's frozen summary has never seen. Routed
+// Reach must stay exact by falling back to a live sweep of that shard,
+// regardless of publish order.
+TEST(ShardedServingTest, RoutedReachExactForEntriesNewerThanTargetPublish) {
+  // Two contiguous shards over a six-node path split 0-2 / 3-5, with no
+  // cross edges at all initially.
+  GraphBuilder builder(6);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(3, 4);
+  builder.AddEdge(4, 5);
+  const Graph g = builder.Build();
+  ShardedManagerOptions opts;
+  opts.num_shards = 2;
+  opts.partitioner = PartitionerKind::kContiguous;
+  ShardedSnapshotManager mgr(g, opts);
+  ASSERT_EQ(mgr.partition().shard_of[2], 0u);
+  ASSERT_EQ(mgr.partition().shard_of[3], 1u);
+  const ShardedQueryService service(mgr);
+  EXPECT_FALSE(service.Reach(0, 5));
+  EXPECT_EQ(mgr.BoundaryEntryCount(1), 0u);
+
+  // Insert the bridge 2 -> 3 and republish ONLY shard 0. Shard 1 still
+  // serves its initial version, whose summary has no row for entry 3.
+  UpdateBatch bridge;
+  bridge.Insert(2, 3);
+  mgr.ApplyToShard(0, bridge);
+  mgr.PublishShard(0, FreezeMode::kFull);
+  EXPECT_EQ(mgr.BoundaryEntryCount(1), 1u);
+  {
+    const auto stale = mgr.shard(1).Acquire();
+    NodeId ignored = 0;
+    ASSERT_NE(stale->boundary_summary(), nullptr);
+    EXPECT_FALSE(stale->boundary_summary()->LookupEntry(3, &ignored));
+  }
+  EXPECT_TRUE(service.Reach(0, 5));
+  EXPECT_TRUE(service.Reach(0, 3));
+  EXPECT_TRUE(service.Reach(2, 5, PathMode::kNonEmpty));
+  EXPECT_FALSE(service.Reach(5, 0));
+  EXPECT_FALSE(service.Reach(3, 3, PathMode::kNonEmpty));
+
+  // Once shard 1 republishes, the entry is summarized and answers are
+  // unchanged.
+  mgr.PublishShard(1, FreezeMode::kFull);
+  {
+    const auto fresh = mgr.shard(1).Acquire();
+    NodeId node = FrozenBoundarySummary::kNoSummaryNode;
+    EXPECT_TRUE(fresh->boundary_summary()->LookupEntry(3, &node));
+  }
+  EXPECT_TRUE(service.Reach(0, 5));
+  EXPECT_FALSE(service.Reach(5, 0));
+}
+
 TEST(ShardedServingTest, StitchedQuotientCoversExactlyOwnedBlocks) {
   const Graph g = GenerateUniform(80, 260, 4, 19);
   ShardedManagerOptions opts;
@@ -343,12 +534,70 @@ TEST(ShardedServingTest, PinCacheFollowsPublishes) {
   EXPECT_NE(pins1->versions(), pins3->versions());
 }
 
+TEST(ShardedServingTest, StitchCacheReusesSegmentsOfUnmovedShards) {
+  const Graph g = GenerateUniform(80, 260, 3, 17);
+  ShardedManagerOptions opts;
+  opts.num_shards = 3;
+  ShardedSnapshotManager mgr(g, opts);
+  const ShardedQueryService service(mgr);
+
+  // Cold stitch: every segment built.
+  (void)service.Pin()->stitched();
+  StitchCache::Stats stats = service.stitch_stats();
+  EXPECT_EQ(stats.builds, 1u);
+  EXPECT_EQ(stats.full_reuses, 0u);
+  EXPECT_EQ(stats.segments_total, 3u);
+  EXPECT_EQ(stats.segments_reused, 0u);
+
+  // Republish only shard 1 after a guaranteed-effective insert: the stitch
+  // carries the other two shards' frozen pattern sides by pointer.
+  const std::vector<NodeId> owned = mgr.partition().OwnedNodes(1);
+  UpdateBatch batch;
+  [&] {
+    for (const NodeId u : owned) {
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        if (u != v && !g.HasEdge(u, v)) {
+          batch.Insert(u, v);
+          return;
+        }
+      }
+    }
+  }();
+  ASSERT_EQ(batch.size(), 1u);
+  mgr.ApplyToShard(1, batch);
+  mgr.PublishShard(1, FreezeMode::kFull);
+  (void)service.Pin()->stitched();
+  stats = service.stitch_stats();
+  EXPECT_EQ(stats.builds, 2u);
+  EXPECT_EQ(stats.segments_total, 6u);
+  EXPECT_EQ(stats.segments_reused, 2u);
+  EXPECT_DOUBLE_EQ(stats.reuse_ratio(), 2.0 / 6.0);
+
+  // Identical snapshot vector: the stitched quotient itself is served from
+  // the cache, counting all K segments as reused.
+  StitchCache cache;
+  const auto part = mgr.partition_ptr();
+  const auto snaps = mgr.AcquireAll();
+  const auto a = cache.Stitch(*part, snaps);
+  const auto b = cache.Stitch(*part, snaps);
+  EXPECT_EQ(a.get(), b.get());
+  const StitchCache::Stats direct = cache.stats();
+  EXPECT_EQ(direct.builds, 1u);
+  EXPECT_EQ(direct.full_reuses, 1u);
+  EXPECT_EQ(direct.segments_total, 6u);
+  EXPECT_EQ(direct.segments_reused, 3u);
+}
+
 // ---------------------------------------------------------------------------
 // Multi-shard reader/writer stress: one writer thread per shard publishing
 // independently, routed readers pinning version vectors. Every observation
 // is checked against a graph reconstructed for its exact version vector —
 // legitimate because shards own disjoint edge sets, so any combination of
-// per-shard versions is a real global state. TSan-gated in CI.
+// per-shard versions is a real global state. TSan-gated in CI. Since the
+// writers freeze boundary summaries inside every publish and mutate each
+// other's entry tables while readers run the summary search, this is also
+// the race coverage for serve/boundary_summary.h and the router's
+// stale-entry fallback.
 // ---------------------------------------------------------------------------
 
 TEST(ShardedServingStressTest, ConcurrentShardWritersMatchVersionVectorOracle) {

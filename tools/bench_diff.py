@@ -32,7 +32,13 @@ trajectory over the last N commits that touched the committed baseline
 file (via `git log` / `git show` in --baseline-dir). This is what makes
 slow drift visible: per-PR tolerance can pass 9% regressions forever; the
 trajectory shows the cumulative slide. Requires git history; degrades to a
-note when the repository is shallow or git is unavailable.
+note when the repository is shallow or git is unavailable. Benches that
+emit both routed_reach_qps.K* and local_reach_qps.K* get a derived
+routed_over_local_reach.K* row per column (routed qps as a fraction of
+shard-local qps, 1.0 = parity): the two raw qps rows are machine-specific
+and drift together, but their ratio on the same run is the routed-reach
+cliff itself, and its trajectory shows the cliff closing or reopening
+across PRs.
 
 Default mode is warn-only: always exits 0 and prints a summary table, so a
 CI step can surface drift without gating merges. --strict exits 1 when a
@@ -126,6 +132,27 @@ def git_metric_history(baseline_dir, name, depth):
     return history
 
 
+def derived_ratios(metrics):
+    """Cross-metric ratios worth tracking per column (see --trajectory in
+    the module docstring): routed_over_local_reach.K* = routed_reach_qps.K*
+    / local_reach_qps.K*, the routed-reach cliff. Both qps values come from
+    the same run on the same machine, so the ratio is comparable across
+    commits even though the raw rates are not."""
+    out = {}
+    for key, value in metrics.items():
+        if not key.startswith("routed_reach_qps.K"):
+            continue
+        suffix = key[len("routed_reach_qps."):]
+        try:
+            routed = float(value)
+            local = float(metrics.get(f"local_reach_qps.{suffix}"))
+        except (TypeError, ValueError):
+            continue
+        if local > 0:
+            out[f"routed_over_local_reach.{suffix}"] = routed / local
+    return out
+
+
 def print_trajectory(baseline_dir, name, new_metrics, depth):
     history = git_metric_history(baseline_dir, name, depth)
     if not history:
@@ -133,6 +160,10 @@ def print_trajectory(baseline_dir, name, new_metrics, depth):
               "(shallow clone, or file never committed)")
         return
     columns = [sha for sha, _ in history] + ["new"]
+    history = [(sha, {**metrics, **derived_ratios(metrics)})
+               for sha, metrics in history]
+    if new_metrics is not None:
+        new_metrics = {**new_metrics, **derived_ratios(new_metrics)}
     # Union of keys across history and the new run: a reduced-config new
     # run (--subset-ok) must not hide the baseline metrics from the view.
     all_keys = set(new_metrics or {})

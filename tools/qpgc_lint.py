@@ -95,7 +95,8 @@ ALLOWED_DEPS = {
 # Serving read-path files: may hold only immutable frozen state, so the
 # graph-mutation headers below must never appear in their includes.
 # serve/load_gen and the managers are writer-side by design and exempt.
-READ_PATH_STEMS = {"answer_cache", "snapshot", "query_service", "router"}
+READ_PATH_STEMS = {"answer_cache", "boundary_summary", "snapshot",
+                   "query_service", "router"}
 MUTATION_HEADERS = re.compile(r'^(graph/update\.h|inc/)')
 
 # Reference-bound pin handles (rule pin-ref): an auto reference whose

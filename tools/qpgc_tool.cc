@@ -29,13 +29,15 @@
 // `compressb` accepts --bisim-engine=paige-tarjan|ranked|signature to pick
 // the maximum-bisimulation engine (default paige-tarjan).
 //
-// `compress` and `serve-sim` accept --shards=K (default 1): `compress`
-// hash-partitions the graph, runs the whole batch pipeline zero-copy over
-// each shard's ShardView (graph/shard_view.h), writes one artifact per
-// shard (<out>.shard<i>) and prints the per-shard compression and boundary
-// table; `serve-sim` serves through a ShardedSnapshotManager behind the
-// routing ShardedQueryService (serve/sharded_manager.h, serve/router.h),
-// with the writer stream routed per shard.
+// `compress` and `serve-sim` accept --shards=K (default 1) and
+// --partitioner=hash|contiguous|structure (default hash; docs/SHARDING.md
+// discusses the trade-offs): `compress` partitions the graph, runs the
+// whole batch pipeline zero-copy over each shard's ShardView
+// (graph/shard_view.h), writes one artifact per shard (<out>.shard<i>) and
+// prints the per-shard compression and boundary table; `serve-sim` serves
+// through a ShardedSnapshotManager behind the routing ShardedQueryService
+// (serve/sharded_manager.h, serve/router.h), with the writer stream routed
+// per shard.
 //
 // Both compression commands freeze an immutable CsrGraph snapshot of the
 // loaded graph and run the whole batch pipeline on the flat layout (see
@@ -79,7 +81,9 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  qpgc_tool stats     <edges> [labels]\n"
-               "  qpgc_tool compress  [--shards=K] <edges> <artifact-out>\n"
+               "  qpgc_tool compress  [--shards=K] [--partitioner=hash|"
+               "contiguous|structure]\n"
+               "                      <edges> <artifact-out>\n"
                "  qpgc_tool compressb [--bisim-engine=paige-tarjan|ranked|"
                "signature]\n"
                "                      <edges> <labels> <artifact-out>\n"
@@ -87,7 +91,8 @@ int Usage() {
                "  qpgc_tool info      <artifact>\n"
                "  qpgc_tool dataset   <name> <edges-out>\n"
                "  qpgc_tool serve-sim <edges> [labels] [--shards=K] "
-               "[--readers=N] [--duration=SECS]\n"
+               "[--partitioner=...]\n"
+               "                      [--readers=N] [--duration=SECS]\n"
                "                      [--batch-size=N] [--publish-every=N | "
                "--staleness-ms=MS]\n"
                "                      [--zipf-s=S] [--hot-set=N] "
@@ -126,7 +131,8 @@ int CmdStats(const char* edges, const char* labels) {
   return 0;
 }
 
-int CmdCompress(const char* edges, const char* out, uint32_t shards) {
+int CmdCompress(const char* edges, const char* out, uint32_t shards,
+                PartitionerKind partitioner) {
   auto loaded = LoadEdgeList(edges);
   if (!loaded.ok()) {
     std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
@@ -157,7 +163,8 @@ int CmdCompress(const char* edges, const char* out, uint32_t shards) {
                  kGhostLabelBase);
     return 1;
   }
-  const ShardPartition part = ShardPartition::Hash(g.num_nodes(), shards, 0);
+  const ShardPartition part = BuildPartition(partitioner, g, shards, 0);
+  std::printf("partitioner: %s\n", PartitionerKindName(partitioner));
   std::printf("%-6s %10s %10s %12s %8s %12s %12s\n", "shard", "|V_own|",
               "|G_s|", "|Gr_s|", "RCr", "cross-out", "boundary-in");
   size_t total_gr = 0;
@@ -286,6 +293,7 @@ struct ServeSimOptions {
   double zipf_s = -1.0;
   size_t hot_set = 1024;
   CacheMode cache = CacheMode::kOff;
+  PartitionerKind partitioner = PartitionerKind::kHash;
 };
 
 bool ParseSizeFlag(const char* arg, const char* name, size_t* out) {
@@ -360,6 +368,16 @@ int CmdServeSim(const std::vector<const char*>& args) {
         opts.cache = CacheMode::kOff;
         continue;
       }
+      constexpr const char kPartitionerFlag[] = "--partitioner=";
+      if (std::strncmp(arg, kPartitionerFlag,
+                       sizeof(kPartitionerFlag) - 1) == 0) {
+        const char* value = arg + sizeof(kPartitionerFlag) - 1;
+        if (!ParsePartitionerKind(value, &opts.partitioner)) {
+          std::fprintf(stderr, "serve-sim: unknown partitioner '%s'\n", value);
+          return Usage();
+        }
+        continue;
+      }
       std::fprintf(stderr, "serve-sim: unknown flag '%s'\n", arg);
       return Usage();
     }
@@ -432,10 +450,12 @@ int CmdServeSim(const std::vector<const char*>& args) {
     }
     ShardedManagerOptions sharded_options;
     sharded_options.num_shards = static_cast<uint32_t>(opts.shards);
+    sharded_options.partitioner = opts.partitioner;
     sharded_options.shard_options = manager_options;
     Graph mirror = g;
-    std::printf("%s; building %zu shard snapshots...\n",
-                g.DebugString().c_str(), opts.shards);
+    std::printf("%s; building %zu shard snapshots (%s partition)...\n",
+                g.DebugString().c_str(), opts.shards,
+                PartitionerKindName(opts.partitioner));
     Timer build_timer;
     ShardedSnapshotManager manager(g, sharded_options);
     const ShardedQueryService service(manager);
@@ -588,12 +608,14 @@ int CmdDataset(const char* name, const char* out) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip --bisim-engine=<name> (and, for `compress`, --shards=K) wherever
-  // they appear; positional arguments keep their order. serve-sim parses
-  // its own flags, --shards included; any other command sees a --shards
-  // argument as positional and fails usage instead of silently ignoring it.
+  // Strip --bisim-engine=<name> (and, for `compress`, --shards=K and
+  // --partitioner=<name>) wherever they appear; positional arguments keep
+  // their order. serve-sim parses its own flags, --shards and --partitioner
+  // included; any other command sees them as positional and fails usage
+  // instead of silently ignoring them.
   BisimEngine engine = BisimEngine::kPaigeTarjan;
   uint32_t shards = 1;
+  PartitionerKind partitioner = PartitionerKind::kHash;
   std::vector<const char*> args;
   const bool is_compress = argc > 1 && std::strcmp(argv[1], "compress") == 0;
   for (int i = 1; i < argc; ++i) {
@@ -618,6 +640,16 @@ int main(int argc, char** argv) {
       shards = static_cast<uint32_t>(value);
       continue;
     }
+    constexpr const char kPartitionerFlag[] = "--partitioner=";
+    if (is_compress && std::strncmp(argv[i], kPartitionerFlag,
+                                    sizeof(kPartitionerFlag) - 1) == 0) {
+      const char* value = argv[i] + sizeof(kPartitionerFlag) - 1;
+      if (!ParsePartitionerKind(value, &partitioner)) {
+        std::fprintf(stderr, "unknown partitioner '%s'\n", value);
+        return Usage();
+      }
+      continue;
+    }
     args.push_back(argv[i]);
   }
   const int argn = static_cast<int>(args.size());
@@ -627,7 +659,7 @@ int main(int argc, char** argv) {
     return CmdStats(args[1], argn == 3 ? args[2] : nullptr);
   }
   if (std::strcmp(cmd, "compress") == 0 && argn == 3) {
-    return CmdCompress(args[1], args[2], shards);
+    return CmdCompress(args[1], args[2], shards, partitioner);
   }
   if (std::strcmp(cmd, "compressb") == 0 && argn == 4) {
     return CmdCompressB(args[1], args[2], args[3], engine);
