@@ -1,0 +1,202 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Out-of-core serving economics on the Fig. 12(d) dataset stand-ins:
+//
+//   * index bytes — serialized CSR index (offset sections) under the
+//     compact encodings (delta16/raw32 via IndexEncoding::kAuto) vs plain
+//     8-byte offsets; the acceptance bar is >= 1.8x smaller;
+//   * cold start — time to first answered query: MmapSnapshot::Open off
+//     the artifact vs the full verified deserialize
+//     (storage/snapshot_io.h); the bar is >= 10x faster;
+//   * resident bytes — mapped artifact size (page-cache backed, shared
+//     across replicas) and varint heap-decode cost vs the in-RAM frozen
+//     snapshot, the Fig. 12(d) memory axis;
+//   * serving throughput — the same timed reach window against the in-RAM
+//     service and straight off the mapping.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "gen/dataset_catalog.h"
+#include "serve/load_gen.h"
+#include "serve/query_service.h"
+#include "serve/snapshot_manager.h"
+#include "storage/format.h"
+#include "storage/mmap_snapshot.h"
+#include "storage/snapshot_io.h"
+#include "util/memory.h"
+#include "util/timer.h"
+
+using namespace qpgc;
+
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / ("qpgc_bench_" + name))
+      .string();
+}
+
+// Sum of the stored bytes of the CSR index (offset) sections, and of the
+// whole file, from the artifact's own section table.
+struct ArtifactFootprint {
+  size_t index_bytes = 0;
+  size_t file_bytes = 0;
+};
+
+ArtifactFootprint Footprint(const std::string& path) {
+  ArtifactFootprint fp;
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> raw((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  auto parsed = storage::ParseArtifact(
+      {reinterpret_cast<const std::byte*>(raw.data()), raw.size()},
+      /*verify_payload_checksums=*/false);
+  if (!parsed.ok()) return fp;
+  fp.file_bytes = raw.size();
+  for (const storage::SectionEntry& entry : parsed.value().table) {
+    switch (static_cast<storage::SectionKind>(entry.kind)) {
+      case storage::SectionKind::kReachOutOffsets:
+      case storage::SectionKind::kReachInOffsets:
+      case storage::SectionKind::kPatternOutOffsets:
+      case storage::SectionKind::kPatternInOffsets:
+      case storage::SectionKind::kMemberOffsets:
+        fp.index_bytes += entry.stored_bytes;
+        break;
+      default:
+        break;
+    }
+  }
+  return fp;
+}
+
+// Pin()-service adapter over one immutable mapped artifact (the same shape
+// qpgc_tool serve-sim --mmap drives).
+struct MmapService {
+  std::shared_ptr<const storage::MmapSnapshot> snap;
+  std::shared_ptr<const storage::MmapSnapshot> Pin() const { return snap; }
+};
+
+}  // namespace
+
+int main() {
+  bench::Banner("storage — artifact bytes, cold start, mmap serving",
+                "out-of-core tier vs Fan et al., SIGMOD 2012, Fig. 12(d) "
+                "memory baseline");
+  const char* datasets[] = {"P2P",         "wikiVote", "citHepTh",
+                            "socEpinions", "facebook", "NotreDame"};
+  std::printf("%-12s | %9s %9s %6s | %9s %9s %7s | %9s %9s\n", "dataset",
+              "idx raw64", "idx auto", "cut", "cold mmap", "cold full",
+              "speedup", "ram qps", "mmap qps");
+  bench::Rule();
+  for (const char* name : datasets) {
+    Graph g = MakeDataset(FindDataset(name));
+    const size_t n = g.num_nodes();
+    SnapshotManager manager(std::move(g));
+    const QueryService service(manager);
+    const auto live = manager.Acquire();
+
+    const std::string path_auto = TempPath(std::string(name) + ".auto.snap");
+    const std::string path_raw = TempPath(std::string(name) + ".raw64.snap");
+    const std::string path_var = TempPath(std::string(name) + ".varint.snap");
+    storage::SaveOptions raw_options;
+    raw_options.index_encoding = storage::IndexEncoding::kRaw64;
+    storage::SaveOptions varint_options;
+    varint_options.varint_adjacency = true;
+    if (!storage::SaveSnapshot(*live, path_auto).ok() ||
+        !storage::SaveSnapshot(*live, path_raw, raw_options).ok() ||
+        !storage::SaveSnapshot(*live, path_var, varint_options).ok()) {
+      std::fprintf(stderr, "%s: save failed\n", name);
+      return 1;
+    }
+    const ArtifactFootprint auto_fp = Footprint(path_auto);
+    const ArtifactFootprint raw_fp = Footprint(path_raw);
+    const ArtifactFootprint var_fp = Footprint(path_var);
+    const double index_cut = auto_fp.index_bytes > 0
+                                 ? static_cast<double>(raw_fp.index_bytes) /
+                                       static_cast<double>(auto_fp.index_bytes)
+                                 : 0.0;
+
+    // Cold start: open (or deserialize) then answer one query, the
+    // replica-spin-up number. The mmap side is the trusted fast path; the
+    // deserialize side is the default fully verified load. Best of 5 each —
+    // at tens of microseconds a single sample is mostly scheduler noise.
+    double cold_mmap = 1e30, cold_full = 1e30;
+    for (int rep = 0; rep < 5; ++rep) {
+      Timer t;
+      auto mapped = storage::MmapSnapshot::Open(path_auto);
+      if (!mapped.ok()) {
+        std::fprintf(stderr, "%s: mmap open failed\n", name);
+        return 1;
+      }
+      (void)mapped.value().Reach(0, static_cast<NodeId>(n - 1));
+      cold_mmap = std::min(cold_mmap, t.ElapsedSeconds());
+    }
+    for (int rep = 0; rep < 5; ++rep) {
+      Timer t;
+      auto loaded = storage::LoadServingSnapshot(path_auto);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "%s: load failed\n", name);
+        return 1;
+      }
+      (void)loaded.value().snapshot->Reach(0, static_cast<NodeId>(n - 1));
+      cold_full = std::min(cold_full, t.ElapsedSeconds());
+    }
+
+    // Serving throughput A/B: identical timed uniform reach windows.
+    auto mapped = storage::MmapSnapshot::Open(path_auto);
+    const MmapService mmap_service{
+        std::make_shared<const storage::MmapSnapshot>(
+            std::move(mapped).value())};
+    const ReaderWorkload workload = ReaderWorkload::Uniform();
+    const double ram_qps =
+        RunTimedLoad(service, /*patterns=*/{}, workload, 0.15, 2).reach_qps();
+    const double mmap_qps =
+        RunTimedLoad(mmap_service, /*patterns=*/{}, workload, 0.15, 2)
+            .reach_qps();
+
+    std::printf("%-12s | %9s %9s %5.2fx | %9s %9s %6.1fx | %9.0f %9.0f\n",
+                name, FormatBytes(raw_fp.index_bytes).c_str(),
+                FormatBytes(auto_fp.index_bytes).c_str(), index_cut,
+                bench::Secs(cold_mmap).c_str(), bench::Secs(cold_full).c_str(),
+                cold_mmap > 0 ? cold_full / cold_mmap : 0.0, ram_qps,
+                mmap_qps);
+
+    bench::Metric(std::string("index_bytes_raw64.") + name,
+                  static_cast<double>(raw_fp.index_bytes));
+    bench::Metric(std::string("index_bytes_auto.") + name,
+                  static_cast<double>(auto_fp.index_bytes));
+    bench::Metric(std::string("index_cut.") + name, index_cut);
+    bench::Metric(std::string("artifact_bytes.") + name,
+                  static_cast<double>(auto_fp.file_bytes));
+    bench::Metric(std::string("varint_artifact_bytes.") + name,
+                  static_cast<double>(var_fp.file_bytes));
+    bench::Metric(std::string("ram_bytes.") + name,
+                  static_cast<double>(live->MemoryBytes()));
+    bench::Metric(std::string("decoded_heap_bytes.") + name,
+                  static_cast<double>(mmap_service.snap->DecodedHeapBytes()));
+    bench::Metric(std::string("cold_mmap_secs.") + name, cold_mmap);
+    bench::Metric(std::string("cold_deserialize_secs.") + name, cold_full);
+    bench::Metric(std::string("cold_speedup.") + name,
+                  cold_mmap > 0 ? cold_full / cold_mmap : 0.0);
+    bench::Metric(std::string("reach_qps_ram.") + name, ram_qps);
+    bench::Metric(std::string("reach_qps_mmap.") + name, mmap_qps);
+
+    std::filesystem::remove(path_auto);
+    std::filesystem::remove(path_raw);
+    std::filesystem::remove(path_var);
+  }
+  bench::Rule();
+  std::printf(
+      "expected shape: compact index >= 1.8x smaller than raw64; cold start "
+      ">= 10x\nfaster off the mapping than via full deserialize; mmap qps "
+      "within a small\nfactor of in-RAM qps (page-cache resident after "
+      "warm-up).\n");
+  return 0;
+}

@@ -17,17 +17,19 @@
 // coarsest stable partition (differentially tested in
 // tests/paige_tarjan_test.cc).
 //
-// Templated over GraphView. The engine front-loads one dense in-edge scan
-// (building edge-id records); on a frozen CsrGraph that scan is a
-// contiguous-array sweep instead of a pointer chase through
-// vector-of-vectors — the batch entry points freeze a snapshot first for
-// exactly this reason (bench_ablation_bisim measures the gap).
+// Templated over GraphView. The engine needs a dense edge-id layout for its
+// count records; a DenseInEdgeView input (CsrGraph, the mmap substrate)
+// provides that layout directly and the engine borrows it zero-copy, while
+// other views pay one flattening scan up front — the batch entry points
+// freeze a CsrGraph snapshot first for exactly this reason
+// (bench_ablation_bisim measures the gap).
 
 #ifndef QPGC_BISIM_PAIGE_TARJAN_H_
 #define QPGC_BISIM_PAIGE_TARJAN_H_
 
 #include <algorithm>
 #include <cstddef>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -90,21 +92,37 @@ Partition PaigeTarjanBisimulation(const G& g) {
   }
 
   // In-edge CSR with dense edge ids so the splitter scan can repoint each
-  // edge's count record in place. On a CsrGraph input this is a straight
-  // copy of the flat in-targets array; on a Graph it flattens the
-  // vector-of-vectors once, so the per-splitter scans below never chase
-  // per-node heap pointers again.
+  // edge's count record in place. A DenseInEdgeView input (CsrGraph, the
+  // mmap substrate) already stores exactly this layout, so the engine
+  // borrows the view's arrays instead of copying them — O(|V| + |E|) fewer
+  // bytes resident per run. On a Graph the vector-of-vectors is flattened
+  // once as before, so the per-splitter scans below never chase per-node
+  // heap pointers.
   const size_t m = g.num_edges();
-  std::vector<size_t> in_begin(n + 1, 0);
-  std::vector<NodeId> in_src(m);
-  {
+  std::vector<size_t> in_begin_store;
+  std::vector<NodeId> in_src_store;
+  std::span<const NodeId> in_src;
+  if constexpr (DenseInEdgeView<G>) {
+    in_src = g.InEdgeSources();
+    QPGC_CHECK(in_src.size() == m);
+  } else {
+    in_begin_store.assign(n + 1, 0);
+    in_src_store.resize(m);
     size_t at = 0;
     for (NodeId w = 0; w < n; ++w) {
-      in_begin[w] = at;
-      for (NodeId v : g.InNeighbors(w)) in_src[at++] = v;
+      in_begin_store[w] = at;
+      for (NodeId v : g.InNeighbors(w)) in_src_store[at++] = v;
     }
-    in_begin[n] = at;
+    in_begin_store[n] = at;
+    in_src = in_src_store;
   }
+  const auto in_edge_begin = [&](NodeId w) -> size_t {
+    if constexpr (DenseInEdgeView<G>) {
+      return g.InEdgeBegin(w);
+    } else {
+      return in_begin_store[w];
+    }
+  };
 
   // Count records: rec_val[r] is simultaneously cnt(v, X) for the (source
   // node, coarse block) pair the record represents and the number of edges
@@ -191,7 +209,8 @@ Partition PaigeTarjanBisimulation(const G& g) {
     const uint32_t s_end = s.blocks[sb].end;
     for (uint32_t i = s_begin; i < s_end; ++i) {
       const NodeId w = s.nodes[i];
-      for (size_t e = in_begin[w]; e < in_begin[w + 1]; ++e) {
+      const size_t e_begin = in_edge_begin(w);
+      for (size_t e = e_begin; e < e_begin + g.InDegree(w); ++e) {
         const NodeId v = in_src[e];
         const uint32_t r_old = edge_rec[e];
         if (seen[v] != stamp) {

@@ -12,9 +12,15 @@
 // So the partition can be computed stratum by stratum in ascending rank
 // order: when a stratum is processed, all its cross-stratum successors are
 // already final, and only the within-stratum dependencies need a fixpoint.
-// Each stratum's fixpoint is a local signature refinement; split blocks only
-// ever subdivide, and ids of untouched blocks are preserved, so work is
-// proportional to the stratum touched.
+//
+// Each stratum's fixpoint delegates to the same contiguous-segment splitter
+// machinery as the bounded engine (bisim/refine_detail.h, the Segments used
+// by KBisimulationSplitter): rounds are dirty-driven — only nodes with an
+// in-stratum successor whose block changed in the previous round regroup —
+// so a round costs O(affected), not Θ(|stratum|). The initial partition
+// keys on (rank, label), so every block lives inside one stratum and splits
+// never mix strata; split blocks only ever subdivide and untouched block
+// ids are preserved, which keeps work proportional to what actually moved.
 
 #ifndef QPGC_BISIM_RANKED_BISIM_H_
 #define QPGC_BISIM_RANKED_BISIM_H_
@@ -22,6 +28,7 @@
 #include <algorithm>
 #include <map>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "bisim/partition.h"
@@ -34,11 +41,11 @@
 namespace qpgc {
 
 /// Maximum bisimulation via rank stratification. Equivalent to
-/// SignatureBisimulation (property-tested) but avoids global rounds.
+/// SignatureBisimulation (differentially tested) but avoids global rounds.
 template <GraphView G>
 Partition RankedBisimulation(const G& g) {
-  using bisim_detail::Sig;
-  using bisim_detail::SigHash;
+  using bisim_detail::MakeSegments;
+  using bisim_detail::Segments;
 
   const size_t n = g.num_nodes();
   Partition p;
@@ -52,7 +59,8 @@ Partition RankedBisimulation(const G& g) {
   for (NodeId v = 0; v < n; ++v) strata[ranks[v]].push_back(v);
 
   // Initial partition: (rank, label). Never separates bisimilar nodes
-  // (Lemma 9 plus label equality).
+  // (Lemma 9 plus label equality), and confines every block — hence every
+  // later split — to a single stratum.
   NodeId num_blocks = 0;
   {
     std::unordered_map<std::pair<uint64_t, uint64_t>, NodeId, PairHash> init;
@@ -64,41 +72,106 @@ Partition RankedBisimulation(const G& g) {
       p.block_of[v] = it->second;
     }
   }
+  Segments s = MakeSegments(p.block_of, num_blocks);
 
-  std::vector<NodeId> succ;
-  for (auto& [rank, nodes] : strata) {
-    (void)rank;
-    // Local fixpoint: refine the stratum's blocks by successor-block sets
-    // until stable. Cross-stratum successors are already final.
-    bool changed = true;
-    while (changed) {
-      changed = false;
-      // Group stratum nodes by signature.
-      std::unordered_map<Sig, std::vector<NodeId>, SigHash> groups;
-      groups.reserve(nodes.size());
-      for (NodeId v : nodes) {
-        succ.clear();
-        for (NodeId w : g.OutNeighbors(v)) succ.push_back(p.block_of[w]);
-        std::sort(succ.begin(), succ.end());
-        succ.erase(std::unique(succ.begin(), succ.end()), succ.end());
-        groups[Sig{p.block_of[v], succ}].push_back(v);
+  const auto sig_of = [&](NodeId v) {
+    std::vector<NodeId> sig;
+    sig.reserve(g.OutDegree(v));
+    for (NodeId w : g.OutNeighbors(v)) sig.push_back(s.blk[w]);
+    std::sort(sig.begin(), sig.end());
+    sig.erase(std::unique(sig.begin(), sig.end()), sig.end());
+    return sig;
+  };
+
+  std::vector<uint8_t> dirty_flag(n, 0);
+  std::vector<NodeId> dirty;
+  std::vector<NodeId> changed;
+  std::vector<NodeId> touched;
+  std::vector<NodeId> dirty_members;
+  // Splits staged per round exactly like KBisimulationSplitter: grouping
+  // must read the pre-round partition for every block, so fresh ids never
+  // leak into later blocks' signatures within the same round.
+  std::vector<std::pair<NodeId, std::vector<std::vector<NodeId>>>> pending;
+
+  for (const auto& [rank, stratum] : strata) {
+    // Local fixpoint: every stratum node is dirty in round one (so each is
+    // signatured at least once against the final lower strata); afterwards
+    // only predecessors — necessarily in this stratum, since edges never go
+    // rank-upward — of nodes whose block changed can regroup.
+    dirty = stratum;
+    while (!dirty.empty()) {
+      touched.clear();
+      for (const NodeId v : dirty) {
+        dirty_flag[v] = 0;
+        if (s.blocks[s.blk[v]].marked == 0) touched.push_back(s.blk[v]);
+        s.Mark(v);
       }
-      // Count groups per old block; split blocks with more than one group.
-      std::unordered_map<NodeId, NodeId> groups_seen;  // block -> #groups
-      for (const auto& [sig, members] : groups) ++groups_seen[sig.block];
-      std::unordered_map<NodeId, bool> first_kept;
-      for (auto& [sig, members] : groups) {
-        if (groups_seen[sig.block] == 1) continue;  // untouched block id
-        auto [it, inserted] = first_kept.try_emplace(sig.block, true);
-        if (inserted) continue;  // first group keeps the old id
-        const NodeId fresh = num_blocks++;
-        for (NodeId v : members) p.block_of[v] = fresh;
-        changed = true;
+
+      // Phase 1: group every touched block's dirty members by signature
+      // against the pre-round partition. A clean member kept its successor-
+      // block id set since it was last grouped (split-off subgroups get
+      // fresh ids, survivors keep theirs), so one clean representative's
+      // signature stands in for all of them.
+      pending.clear();
+      for (const NodeId b : touched) {
+        const uint32_t marked = s.blocks[b].marked;
+        const uint32_t begin = s.blocks[b].begin;
+        const bool has_clean = marked < s.size(b);
+        dirty_members.assign(s.nodes.begin() + begin,
+                             s.nodes.begin() + begin + marked);
+        s.blocks[b].marked = 0;
+
+        std::unordered_map<std::vector<NodeId>, uint32_t, VectorHash> group_of;
+        std::vector<std::vector<NodeId>> groups;
+        if (has_clean) {
+          const NodeId rep = s.nodes[s.blocks[b].end - 1];
+          group_of.emplace(sig_of(rep), 0);
+          groups.emplace_back();
+        }
+        for (const NodeId v : dirty_members) {
+          const auto [it, inserted] = group_of.try_emplace(
+              sig_of(v), static_cast<uint32_t>(groups.size()));
+          if (inserted) groups.emplace_back();
+          groups[it->second].push_back(v);
+        }
+        if (groups.size() > 1) {
+          pending.emplace_back(
+              b, std::vector<std::vector<NodeId>>(
+                     std::make_move_iterator(groups.begin() + 1),
+                     std::make_move_iterator(groups.end())));
+        }
+      }
+
+      // Phase 2: apply the staged splits; members of split-off groups are
+      // the ones whose block id changed this round.
+      changed.clear();
+      for (auto& [b, groups] : pending) {
+        for (const auto& group : groups) {
+          for (const NodeId v : group) s.Mark(v);
+          const NodeId nb = s.SplitMarked(b);
+          QPGC_DCHECK(nb != b);
+          for (uint32_t i = s.blocks[nb].begin; i < s.blocks[nb].end; ++i) {
+            changed.push_back(s.nodes[i]);
+          }
+        }
+      }
+
+      dirty.clear();
+      for (const NodeId v : changed) {
+        for (const NodeId u : g.InNeighbors(v)) {
+          // Cross-stratum predecessors have strictly higher rank and start
+          // fully dirty when their own stratum is processed.
+          if (ranks[u] == rank && !dirty_flag[u]) {
+            dirty_flag[u] = 1;
+            dirty.push_back(u);
+          }
+        }
       }
     }
   }
 
-  p.num_blocks = num_blocks;
+  p.block_of = s.blk;
+  p.num_blocks = s.blocks.size();
   p.Normalize();
   return p;
 }

@@ -17,6 +17,7 @@
 #define QPGC_CORE_PATTERN_SCHEME_H_
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "bisim/engine.h"
@@ -107,8 +108,7 @@ PatternCompression CompressB(const Graph& g, const CompressBOptions& options = {
 /// below (vector-of-vectors member index) and the frozen serving snapshot
 /// (flattened member index; serve/snapshot.cc).
 template <typename MembersFn>
-MatchResult ExpandMatchWith(size_t num_blocks,
-                            const std::vector<NodeId>& node_map,
+MatchResult ExpandMatchWith(size_t num_blocks, std::span<const NodeId> node_map,
                             MembersFn&& members_of,
                             const MatchResult& on_gr) {
   MatchResult expanded;

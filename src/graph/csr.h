@@ -100,6 +100,29 @@ class QPGC_GSL_OWNER CsrGraph {
     return labels_;
   }
 
+  /// Dense in-edge interface (graph/graph_view.h's DenseInEdgeView): the
+  /// id of u's first in-edge, and the flat source array all in-edge ids
+  /// index into.
+  size_t InEdgeBegin(NodeId u) const { return in_offsets_[u]; }
+  std::span<const NodeId> InEdgeSources() const QPGC_LIFETIME_BOUND {
+    return in_targets_;
+  }
+
+  /// The raw CSR arrays (both directions), for serialization
+  /// (storage/snapshot_io.h). Offsets have num_nodes() + 1 entries.
+  std::span<const uint64_t> out_offsets() const QPGC_LIFETIME_BOUND {
+    return out_offsets_;
+  }
+  std::span<const NodeId> out_targets() const QPGC_LIFETIME_BOUND {
+    return out_targets_;
+  }
+  std::span<const uint64_t> in_offsets() const QPGC_LIFETIME_BOUND {
+    return in_offsets_;
+  }
+  std::span<const NodeId> in_targets() const QPGC_LIFETIME_BOUND {
+    return in_targets_;
+  }
+
   /// Number of distinct labels present (kNoLabel counts as one value if any
   /// node is unlabeled).
   size_t CountDistinctLabels() const;
@@ -127,6 +150,8 @@ class QPGC_GSL_OWNER CsrGraph {
 static_assert(GraphView<Graph>);
 static_assert(GraphView<CsrGraph>);
 static_assert(GraphView<ReversedView<CsrGraph>>);
+static_assert(DenseInEdgeView<CsrGraph>);
+static_assert(!DenseInEdgeView<Graph>);  // vector-of-vectors has no flat array
 
 /// BFS reachability on the frozen view — the same stock algorithm as
 /// BfsReaches, on the flat layout. (Kept as a named entry point; it is the

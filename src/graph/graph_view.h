@@ -54,6 +54,20 @@ concept GraphView = requires(const G& g, NodeId u) {
   { g.label(u) } -> std::convertible_to<Label>;
 };
 
+/// Optional extension of GraphView: a view whose in-adjacency is ONE flat
+/// dense array of source ids with per-node runs at stable positions —
+/// InEdgeSources()[InEdgeBegin(u) + i] is the source of u's i-th in-edge,
+/// and [InEdgeBegin(u), InEdgeBegin(u) + InDegree(u)) is a dense edge-id
+/// range. Algorithms that would otherwise build their own edge-id CSR copy
+/// (the Paige–Tarjan engine's count records, bisim/paige_tarjan.h) borrow
+/// the view's arrays instead, dropping an O(|V| + |E|) copy on CsrGraph and
+/// the mmap substrate (storage/mmap_snapshot.h).
+template <typename G>
+concept DenseInEdgeView = GraphView<G> && requires(const G& g, NodeId u) {
+  { g.InEdgeBegin(u) } -> std::convertible_to<size_t>;
+  { g.InEdgeSources() } -> std::convertible_to<std::span<const NodeId>>;
+};
+
 /// |G| = |V| + |E|, the paper's size measure, for any view.
 template <GraphView G>
 size_t ViewSize(const G& g) {

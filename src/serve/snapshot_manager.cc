@@ -126,6 +126,19 @@ SnapshotManager::SnapshotManager(Graph g, SnapshotManagerOptions options)
   Publish();  // version 1: Acquire() never returns null
 }
 
+SnapshotManager::SnapshotManager(Graph g, ReachCompression rc,
+                                 PatternCompression pc,
+                                 SnapshotManagerOptions options)
+    : g_(std::move(g)),
+      options_(std::move(options)),
+      rc_(std::move(rc)),
+      pc_(std::move(pc)),
+      pool_(std::make_shared<BufferPool>()) {
+  QPGC_CHECK(rc_.original_num_nodes == g_.num_nodes() &&
+             pc_.original_num_nodes == g_.num_nodes());
+  Publish();  // version 1: Acquire() never returns null
+}
+
 ApplyStats SnapshotManager::Apply(const UpdateBatch& batch) {
   return Apply(batch, nullptr);
 }

@@ -184,6 +184,15 @@ class SnapshotManager {
   /// compressB), and publishes version 1 — Acquire() never returns null.
   explicit SnapshotManager(Graph g, SnapshotManagerOptions options = {});
 
+  /// Adopts pre-built compressed artifacts instead of recompressing — the
+  /// warm-start path for state reconstructed from an on-disk snapshot
+  /// (storage/snapshot_io.h ReconstructArtifacts). The artifacts must
+  /// describe exactly `g` (storage's reconstruction probes check this);
+  /// incremental maintenance then continues as if this manager had built
+  /// them. Publishes version 1 from the adopted state.
+  SnapshotManager(Graph g, ReachCompression rc, PatternCompression pc,
+                  SnapshotManagerOptions options = {});
+
   SnapshotManager(const SnapshotManager&) = delete;
   SnapshotManager& operator=(const SnapshotManager&) = delete;
 

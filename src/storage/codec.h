@@ -1,0 +1,140 @@
+// Copyright 2026 The QPGC Authors.
+//
+// Section codecs for the snapshot artifact format (storage/format.h): how a
+// CSR offset array or an adjacency/target array turns into stored bytes and
+// back. Two regimes:
+//
+//   * Offset encodings (kRaw64 / kRaw32 / kDelta16) stay O(1)-addressable in
+//     place — OffsetsView reads any element straight off the mapping, which
+//     is what lets MmapCsrGraph serve without materializing the index.
+//   * kVarint target runs are smaller still but sequential-only; readers
+//     decode them to a heap array once at open (the cold-shard trade-off).
+//
+// Encoders are infallible (the writer owns its inputs); decoders return
+// Status because they face untrusted bytes — every size and range is checked
+// before a span is handed to serving code.
+
+#ifndef QPGC_STORAGE_CODEC_H_
+#define QPGC_STORAGE_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "storage/format.h"
+#include "util/common.h"
+#include "util/lifetime_annotations.h"
+#include "util/status.h"
+
+namespace qpgc::storage {
+
+/// One encoded section payload, ready to be written behind a SectionEntry.
+struct EncodedSection {
+  SectionEncoding encoding = SectionEncoding::kRaw64;
+  uint64_t element_count = 0;
+  std::vector<std::byte> bytes;
+};
+
+/// The tightest offset encoding `offsets` admits: kDelta16 when every
+/// element's distance from its covering anchor fits 16 bits, else kRaw32
+/// when the last offset fits 32 bits, else kRaw64.
+SectionEncoding ChooseOffsetEncoding(std::span<const uint64_t> offsets);
+
+/// Encodes a monotone CSR offset array with `enc` (must be admissible —
+/// QPGC_CHECKed; pick with ChooseOffsetEncoding or pass kRaw64).
+EncodedSection EncodeOffsets(std::span<const uint64_t> offsets,
+                             SectionEncoding enc);
+
+/// O(1) random access over an encoded offsets section, in place. A view:
+/// valid only while the underlying bytes (the mapping) live.
+class QPGC_GSL_POINTER OffsetsView {
+ public:
+  OffsetsView() = default;
+
+  /// Validates sizes and wraps `bytes`; rejects unknown encodings and
+  /// length mismatches with CorruptData.
+  static Result<OffsetsView> Make(SectionEncoding enc,
+                                  std::span<const std::byte> bytes
+                                      QPGC_LIFETIME_BOUND,
+                                  size_t element_count);
+
+  size_t size() const { return count_; }
+
+  uint64_t operator[](size_t i) const {
+    QPGC_DCHECK(i < count_);
+    switch (enc_) {
+      case SectionEncoding::kRaw64:
+        return raw64_[i];
+      case SectionEncoding::kRaw32:
+        return raw32_[i];
+      default:  // kDelta16
+        return anchors_[i / kDeltaBlock] + deltas_[i];
+    }
+  }
+
+  uint64_t back() const { return (*this)[count_ - 1]; }
+
+ private:
+  SectionEncoding enc_ = SectionEncoding::kRaw64;
+  const uint64_t* raw64_ = nullptr;
+  const uint32_t* raw32_ = nullptr;
+  const uint64_t* anchors_ = nullptr;
+  const uint16_t* deltas_ = nullptr;
+  size_t count_ = 0;
+};
+
+/// Encodes a u32 array as kConstU32 when all elements are equal (and the
+/// array is non-empty), else kRaw32.
+EncodedSection EncodeU32(std::span<const uint32_t> values);
+
+/// In-place view over a kRaw32 / kConstU32 u32 section. For kRaw32 the view
+/// aliases the mapping; for kConstU32 it replicates the stored constant on
+/// demand.
+class QPGC_GSL_POINTER U32View {
+ public:
+  U32View() = default;
+
+  static Result<U32View> Make(SectionEncoding enc,
+                              std::span<const std::byte> bytes
+                                  QPGC_LIFETIME_BOUND,
+                              size_t element_count);
+
+  size_t size() const { return count_; }
+  bool is_const() const { return data_ == nullptr; }
+  uint32_t constant() const { return constant_; }
+
+  /// The backing span; only valid for kRaw32 views (is_const() == false).
+  std::span<const uint32_t> raw_span() const {
+    QPGC_DCHECK(data_ != nullptr);
+    return {data_, count_};
+  }
+
+  uint32_t operator[](size_t i) const {
+    QPGC_DCHECK(i < count_);
+    return data_ == nullptr ? constant_ : data_[i];
+  }
+
+ private:
+  const uint32_t* data_ = nullptr;  // nullptr => constant array
+  uint32_t constant_ = 0;
+  size_t count_ = 0;
+};
+
+/// Encodes adjacency target runs (run r = targets[offsets[r]..offsets[r+1]),
+/// each strictly ascending) as kVarint: first element absolute, then gaps.
+EncodedSection EncodeVarintTargets(std::span<const uint64_t> offsets,
+                                   std::span<const NodeId> targets);
+
+/// Decodes a kVarint targets section into `out` (resized to
+/// `element_count`). Runs are delimited by `offsets`; every decoded id is
+/// range-checked against `num_nodes` and runs are checked strictly
+/// ascending, so the result is safe to AdoptCsr.
+Status DecodeVarintTargets(std::span<const std::byte> bytes,
+                           const OffsetsView& offsets, size_t element_count,
+                           NodeId num_nodes, std::vector<NodeId>* out);
+
+}  // namespace qpgc::storage
+
+#endif  // QPGC_STORAGE_CODEC_H_

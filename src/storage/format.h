@@ -1,0 +1,157 @@
+// Copyright 2026 The QPGC Authors.
+//
+// The qpgc snapshot artifact format: the versioned on-disk layout every
+// storage/ reader and writer agrees on. One file holds one frozen
+// ServingSnapshot (serve/snapshot.h) — both quotient CSRs, the node maps,
+// the member index, the boundary tables of sharded serving, and (sharded
+// saves) the shard partition — as a flat sequence of independently
+// checksummed *sections*:
+//
+//   [FileHeader | SectionEntry x section_count | payload...payload]
+//
+// All integers are little-endian, fixed-width PODs; every payload section
+// starts at an 8-byte-aligned file offset so an mmap of the file can hand
+// out properly aligned typed spans without copying (storage/mmap_snapshot.h
+// serves queries straight off the mapping). docs/STORAGE.md is the
+// narrative spec; this header is the normative one.
+//
+// Versioning policy: `format_version` is bumped on ANY layout change, and
+// readers hard-reject versions they were not built for — silently
+// misparsing a snapshot would serve wrong answers, which is strictly worse
+// than failing (tests/storage_format_test.cc pins both directions against
+// a committed golden artifact).
+// Integrity: the header carries a checksum of itself and one of the section
+// table; each section entry carries a checksum of its stored bytes. Header
+// and table checksums are always verified; payload verification is a load
+// option (storage/snapshot_io.h) so the mmap tier can trade it for
+// cold-start latency.
+
+#ifndef QPGC_STORAGE_FORMAT_H_
+#define QPGC_STORAGE_FORMAT_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace qpgc::storage {
+
+// The format is little-endian and the reader/writer use native typed views;
+// a big-endian port would need explicit byte swaps at the section codec.
+static_assert(std::endian::native == std::endian::little,
+              "qpgc snapshot artifacts require a little-endian host");
+
+/// File magic: identifies a qpgc snapshot artifact (8 bytes, no NUL).
+inline constexpr char kMagic[8] = {'Q', 'P', 'G', 'C', 'S', 'N', 'A', 'P'};
+
+/// Bumped on any layout change; readers reject other versions outright.
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// Alignment of every payload section's file offset. 8 covers the widest
+/// element type (uint64_t offsets / delta16 anchors), so typed spans over
+/// the mapping are always properly aligned.
+inline constexpr uint64_t kSectionAlign = 8;
+
+/// What a section holds. Values are stable on-disk identifiers — append
+/// only, never renumber.
+enum class SectionKind : uint32_t {
+  // Frozen reach side (serve/snapshot.h FrozenReachSide).
+  kReachOutOffsets = 1,   // u64[n+1]
+  kReachOutTargets = 2,   // u32[m]
+  kReachInOffsets = 3,    // u64[n+1]
+  kReachInTargets = 4,    // u32[m]
+  kReachLabels = 5,       // u32[n] (all kNoLabel in practice -> kConstU32)
+  kReachNodeMap = 6,      // u32[original_num_nodes]
+  // Frozen pattern side (FrozenPatternSide), ghost-free compact form.
+  kPatternOutOffsets = 7,
+  kPatternOutTargets = 8,
+  kPatternInOffsets = 9,
+  kPatternInTargets = 10,
+  kPatternLabels = 11,
+  kPatternNodeMap = 12,     // u32[original]; kInvalidNode marks ghosts
+  kMemberOffsets = 13,      // u64[owned blocks + 1]
+  kMemberFlat = 14,         // u32[owned nodes]
+  kCrossEdges = 15,         // u32[2 * pairs]: (owned block, ghost node)...
+  // Sharded-serving boundary tables (absent for unsharded snapshots).
+  kBoundaryExits = 16,      // u32[] sorted ascending
+  kBoundaryEntries = 17,    // u32[] sorted ascending
+  // Shard partition ownership map (sharded saves only; self-describing
+  // shard files beat a sidecar that can go missing).
+  kPartitionShardOf = 18,   // u32[original_num_nodes]
+};
+
+/// How a section's elements are packed. Values are stable on-disk
+/// identifiers.
+enum class SectionEncoding : uint32_t {
+  /// uint64_t elements, memcpy layout. Valid for offset sections.
+  kRaw64 = 1,
+  /// uint32_t elements, memcpy layout. Identity for u32 sections; for
+  /// offset sections each u64 is stored as a u32 (requires max < 2^32) —
+  /// a 2.0x index cut, still O(1)-addressable off the mapping.
+  kRaw32 = 2,
+  /// Byte-packed delta offsets: u64 anchors (one per kDeltaBlock elements,
+  /// anchor[j] = offsets[j * kDeltaBlock]) followed by u16 per-element
+  /// deltas from the covering anchor. ~2.1 bytes/element (3.8x vs raw64),
+  /// O(1) random access: offsets[i] = anchor[i / kDeltaBlock] + delta[i].
+  /// Encodable iff every in-block span fits 16 bits. Offset sections only.
+  kDelta16 = 3,
+  /// Entropy-lite adjacency: per-node runs (delimited by the matching
+  /// offsets section) stored as varints — first element absolute, then
+  /// strictly-positive gaps. Smallest, but NOT addressable in place: the
+  /// mmap tier decodes these into heap arrays at open (the cold-shard
+  /// trade-off, docs/STORAGE.md). Target sections only.
+  kVarint = 4,
+  /// One stored u32 replicated element_count times (a constant array —
+  /// the reach quotient's all-kNoLabel label vector).
+  kConstU32 = 5,
+};
+
+/// Elements covered by one kDelta16 anchor.
+inline constexpr size_t kDeltaBlock = 64;
+
+/// File header, at offset 0. 64 bytes, fixed.
+struct FileHeader {
+  char magic[8];              // kMagic
+  uint32_t format_version;    // kFormatVersion
+  uint32_t section_count;
+  uint64_t snapshot_version;  // ServingSnapshot::version()
+  uint64_t original_num_nodes;
+  uint32_t shard;             // this shard's id; 0 unsharded
+  uint32_t num_shards;        // 1 unsharded
+  uint64_t file_bytes;        // total file length, for truncation checks
+  uint64_t table_checksum;    // Fnv1a64 over the section-table bytes
+  uint64_t header_checksum;   // Fnv1a64 over this struct, this field = 0
+};
+static_assert(sizeof(FileHeader) == 64);
+
+/// One section-table entry. 40 bytes, fixed; the table immediately follows
+/// the header.
+struct SectionEntry {
+  uint32_t kind;           // SectionKind
+  uint32_t encoding;       // SectionEncoding
+  uint64_t offset;         // from file start; kSectionAlign-aligned
+  uint64_t stored_bytes;   // encoded length in the file
+  uint64_t element_count;  // decoded elements (u64s or u32s per kind)
+  uint64_t checksum;       // Fnv1a64 over the stored bytes
+};
+static_assert(sizeof(SectionEntry) == 40);
+
+/// FNV-1a 64-bit over a byte range — the format's checksum. Not
+/// cryptographic; guards against truncation, bit rot and torn writes.
+inline uint64_t Fnv1a64(std::span<const std::byte> bytes) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const std::byte b : bytes) {
+    h ^= static_cast<uint64_t>(b);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// `offset` rounded up to the next section boundary.
+inline uint64_t AlignUp(uint64_t offset) {
+  return (offset + kSectionAlign - 1) & ~(kSectionAlign - 1);
+}
+
+}  // namespace qpgc::storage
+
+#endif  // QPGC_STORAGE_FORMAT_H_

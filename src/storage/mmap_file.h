@@ -1,0 +1,54 @@
+// Copyright 2026 The QPGC Authors.
+//
+// MmapFile: a read-only memory mapping of a whole file, RAII-owned. The
+// substrate under storage/mmap_snapshot.h: the kernel pages artifact bytes
+// in on demand and shares one page-cache copy across every process serving
+// the same snapshot, which is what makes out-of-core replicas cheap
+// (docs/STORAGE.md).
+//
+// Lifetime contract: bytes() hands out a view into the mapping, valid only
+// while this MmapFile lives — the same owner/pointer regime as the frozen
+// serving sides (docs/LIFETIMES.md). Failure is a Status, never an abort:
+// opening artifacts is an I/O boundary (util/status.h).
+
+#ifndef QPGC_STORAGE_MMAP_FILE_H_
+#define QPGC_STORAGE_MMAP_FILE_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "util/lifetime_annotations.h"
+#include "util/status.h"
+
+namespace qpgc::storage {
+
+/// A read-only mapping of one file. Movable, not copyable; unmaps on
+/// destruction.
+class QPGC_GSL_OWNER MmapFile {
+ public:
+  MmapFile() = default;
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  ~MmapFile();
+
+  /// Maps `path` read-only in full. A zero-length file maps to an empty
+  /// (but valid) MmapFile.
+  static Result<MmapFile> Open(const std::string& path);
+
+  /// The mapped bytes; valid while this object lives.
+  std::span<const std::byte> bytes() const QPGC_LIFETIME_BOUND {
+    return {static_cast<const std::byte*>(data_), size_};
+  }
+  size_t size() const { return size_; }
+
+ private:
+  void* data_ = nullptr;  // nullptr when empty/unopened
+  size_t size_ = 0;
+};
+
+}  // namespace qpgc::storage
+
+#endif  // QPGC_STORAGE_MMAP_FILE_H_

@@ -1,0 +1,299 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "storage/mmap_snapshot.h"
+
+#include <utility>
+
+#include "core/pattern_scheme.h"
+
+namespace qpgc::storage {
+namespace {
+
+#define QPGC_RETURN_IF_ERROR(expr)        \
+  do {                                    \
+    const Status _status = (expr);        \
+    if (!_status.ok()) return _status;    \
+  } while (0)
+
+std::string KindStr(SectionKind kind) {
+  return std::to_string(static_cast<uint32_t>(kind));
+}
+
+Status Require(const ParsedArtifact& parsed, SectionKind kind,
+               const SectionEntry** out) {
+  *out = parsed.Find(kind);
+  if (*out == nullptr) {
+    return Status::CorruptData("missing section kind " + KindStr(kind));
+  }
+  return Status::Ok();
+}
+
+// A u32 section as an in-place span; sections that cannot be viewed in
+// place (kConstU32) are materialized into `decoded`, whose inner buffers
+// are address-stable.
+Status GetU32Span(const ParsedArtifact& parsed, const SectionEntry& entry,
+                  std::vector<std::vector<NodeId>>* decoded,
+                  std::span<const NodeId>* out) {
+  Result<U32View> view = U32View::Make(
+      static_cast<SectionEncoding>(entry.encoding), parsed.SectionBytes(entry),
+      entry.element_count);
+  if (!view.ok()) return view.status();
+  if (view.value().is_const()) {
+    decoded->emplace_back(view.value().size(), view.value().constant());
+    *out = decoded->back();
+  } else {
+    *out = view.value().raw_span();
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+// Friend of MmapCsrGraph: wires its private views from parsed sections.
+struct MmapWire {
+  static Status Direction(const ParsedArtifact& parsed,
+                          SectionKind offsets_kind, SectionKind targets_kind,
+                          bool validate,
+                          std::vector<std::vector<NodeId>>* decoded,
+                          OffsetsView* offsets,
+                          std::span<const NodeId>* targets, size_t* n);
+  static Status Graph(const ParsedArtifact& parsed,
+                      SectionKind out_offsets_kind,
+                      SectionKind out_targets_kind,
+                      SectionKind in_offsets_kind, SectionKind in_targets_kind,
+                      SectionKind labels_kind, bool validate,
+                      std::vector<std::vector<NodeId>>* decoded,
+                      MmapCsrGraph* gr);
+};
+
+// Wires one CSR direction: offsets stay encoded behind the O(1) OffsetsView;
+// targets are served in place when raw, decoded to heap when kVarint.
+Status MmapWire::Direction(const ParsedArtifact& parsed,
+                           SectionKind offsets_kind, SectionKind targets_kind,
+                           bool validate,
+                           std::vector<std::vector<NodeId>>* decoded,
+                           OffsetsView* offsets,
+                           std::span<const NodeId>* targets, size_t* n) {
+  const SectionEntry* off_entry = nullptr;
+  const SectionEntry* tgt_entry = nullptr;
+  QPGC_RETURN_IF_ERROR(Require(parsed, offsets_kind, &off_entry));
+  QPGC_RETURN_IF_ERROR(Require(parsed, targets_kind, &tgt_entry));
+  Result<OffsetsView> view = OffsetsView::Make(
+      static_cast<SectionEncoding>(off_entry->encoding),
+      parsed.SectionBytes(*off_entry), off_entry->element_count);
+  if (!view.ok()) return view.status();
+  *offsets = view.value();
+  if (offsets->size() == 0) {
+    return Status::CorruptData("empty offsets section kind " +
+                               KindStr(offsets_kind));
+  }
+  *n = offsets->size() - 1;
+  // O(1) endpoint invariants always hold before anything is served — the
+  // subspan arithmetic in MmapCsrGraph must never leave the section.
+  if ((*offsets)[0] != 0 || offsets->back() != tgt_entry->element_count) {
+    return Status::CorruptData("offsets endpoints disagree with targets, "
+                               "kind " + KindStr(offsets_kind));
+  }
+  if (static_cast<SectionEncoding>(tgt_entry->encoding) ==
+      SectionEncoding::kVarint) {
+    std::vector<NodeId> heap;
+    QPGC_RETURN_IF_ERROR(DecodeVarintTargets(
+        parsed.SectionBytes(*tgt_entry), *offsets, tgt_entry->element_count,
+        static_cast<NodeId>(*n), &heap));
+    decoded->push_back(std::move(heap));
+    *targets = decoded->back();
+  } else {
+    QPGC_RETURN_IF_ERROR(GetU32Span(parsed, *tgt_entry, decoded, targets));
+  }
+  if (validate) {
+    QPGC_RETURN_IF_ERROR(ValidateCsr(*offsets, *targets, *n));
+  }
+  // Even without full validation, every offset must stay inside the targets
+  // section or OutNeighbors could hand out an out-of-bounds span. The
+  // monotone scan is O(n) over the offsets only — it does not fault the
+  // (much larger) target pages in.
+  if (!validate) {
+    uint64_t prev = 0;
+    for (size_t u = 1; u <= *n; ++u) {
+      const uint64_t cur = (*offsets)[u];
+      if (cur < prev || cur > targets->size()) {
+        return Status::CorruptData("offsets not monotone, kind " +
+                                   KindStr(offsets_kind));
+      }
+      prev = cur;
+    }
+  }
+  return Status::Ok();
+}
+
+Status MmapWire::Graph(const ParsedArtifact& parsed,
+                       SectionKind out_offsets_kind,
+                       SectionKind out_targets_kind,
+                       SectionKind in_offsets_kind, SectionKind in_targets_kind,
+                       SectionKind labels_kind, bool validate,
+                       std::vector<std::vector<NodeId>>* decoded,
+                       MmapCsrGraph* gr) {
+  size_t out_n = 0;
+  size_t in_n = 0;
+  QPGC_RETURN_IF_ERROR(Direction(parsed, out_offsets_kind, out_targets_kind,
+                                 validate, decoded, &gr->out_offsets_,
+                                 &gr->out_targets_, &out_n));
+  QPGC_RETURN_IF_ERROR(Direction(parsed, in_offsets_kind, in_targets_kind,
+                                 validate, decoded, &gr->in_offsets_,
+                                 &gr->in_targets_, &in_n));
+  if (in_n != out_n || gr->in_targets_.size() != gr->out_targets_.size()) {
+    return Status::CorruptData("in/out CSR directions disagree, kind " +
+                               KindStr(out_offsets_kind));
+  }
+  const SectionEntry* labels_entry = nullptr;
+  QPGC_RETURN_IF_ERROR(Require(parsed, labels_kind, &labels_entry));
+  if (labels_entry->element_count != out_n) {
+    return Status::CorruptData("labels count disagrees with node count, "
+                               "kind " + KindStr(labels_kind));
+  }
+  Result<U32View> labels = U32View::Make(
+      static_cast<SectionEncoding>(labels_entry->encoding),
+      parsed.SectionBytes(*labels_entry), labels_entry->element_count);
+  if (!labels.ok()) return labels.status();
+  gr->labels_ = labels.value();
+  gr->n_ = out_n;
+  gr->m_ = gr->out_targets_.size();
+  return Status::Ok();
+}
+
+namespace {
+
+Status ValidateMapSpan(std::span<const NodeId> map, size_t num_blocks,
+                       bool allow_invalid, const char* what) {
+  for (const NodeId b : map) {
+    if (b >= num_blocks && !(allow_invalid && b == kInvalidNode)) {
+      return Status::CorruptData(std::string(what) + " out of range");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<MmapSnapshot> MmapSnapshot::Open(const std::string& path,
+                                        const LoadOptions& options) {
+  Result<MmapFile> file = MmapFile::Open(path);
+  if (!file.ok()) return file.status();
+  MmapSnapshot snap;
+  snap.file_ = std::move(file.value());
+  Result<ParsedArtifact> parse =
+      ParseArtifact(snap.file_.bytes(), options.verify_checksums);
+  if (!parse.ok()) {
+    return Status(parse.status().code(),
+                  path + ": " + parse.status().message());
+  }
+  const ParsedArtifact& parsed = parse.value();
+  snap.header_ = parsed.header;
+  if (snap.header_.num_shards == 0 ||
+      snap.header_.shard >= snap.header_.num_shards) {
+    return Status::CorruptData(path + ": invalid shard stamp");
+  }
+  const bool validate = options.validate_structure;
+  const uint64_t original_n = snap.header_.original_num_nodes;
+
+  QPGC_RETURN_IF_ERROR(MmapWire::Graph(
+      parsed, SectionKind::kReachOutOffsets, SectionKind::kReachOutTargets,
+      SectionKind::kReachInOffsets, SectionKind::kReachInTargets,
+      SectionKind::kReachLabels, validate, &snap.decoded_, &snap.reach_gr_));
+  QPGC_RETURN_IF_ERROR(MmapWire::Graph(
+      parsed, SectionKind::kPatternOutOffsets, SectionKind::kPatternOutTargets,
+      SectionKind::kPatternInOffsets, SectionKind::kPatternInTargets,
+      SectionKind::kPatternLabels, validate, &snap.decoded_,
+      &snap.pattern_gr_));
+
+  const SectionEntry* entry = nullptr;
+  QPGC_RETURN_IF_ERROR(Require(parsed, SectionKind::kReachNodeMap, &entry));
+  if (entry->element_count != original_n) {
+    return Status::CorruptData(path + ": reach node map count mismatch");
+  }
+  QPGC_RETURN_IF_ERROR(
+      GetU32Span(parsed, *entry, &snap.decoded_, &snap.reach_map_));
+  if (validate) {
+    QPGC_RETURN_IF_ERROR(ValidateMapSpan(snap.reach_map_,
+                                         snap.reach_gr_.num_nodes(),
+                                         /*allow_invalid=*/false,
+                                         "reach node map"));
+  }
+
+  QPGC_RETURN_IF_ERROR(Require(parsed, SectionKind::kPatternNodeMap, &entry));
+  if (entry->element_count != original_n) {
+    return Status::CorruptData(path + ": pattern node map count mismatch");
+  }
+  QPGC_RETURN_IF_ERROR(
+      GetU32Span(parsed, *entry, &snap.decoded_, &snap.pattern_map_));
+  if (validate) {
+    QPGC_RETURN_IF_ERROR(ValidateMapSpan(snap.pattern_map_,
+                                         snap.pattern_gr_.num_nodes(),
+                                         /*allow_invalid=*/true,
+                                         "pattern node map"));
+  }
+
+  const SectionEntry* mo_entry = nullptr;
+  const SectionEntry* mf_entry = nullptr;
+  QPGC_RETURN_IF_ERROR(
+      Require(parsed, SectionKind::kMemberOffsets, &mo_entry));
+  QPGC_RETURN_IF_ERROR(Require(parsed, SectionKind::kMemberFlat, &mf_entry));
+  if (mo_entry->element_count != snap.pattern_gr_.num_nodes() + 1) {
+    return Status::CorruptData(path + ": member offsets count mismatch");
+  }
+  Result<OffsetsView> mo_view = OffsetsView::Make(
+      static_cast<SectionEncoding>(mo_entry->encoding),
+      parsed.SectionBytes(*mo_entry), mo_entry->element_count);
+  if (!mo_view.ok()) return mo_view.status();
+  snap.member_offsets_ = mo_view.value();
+  if (snap.member_offsets_[0] != 0 ||
+      snap.member_offsets_.back() != mf_entry->element_count) {
+    return Status::CorruptData(path + ": member index endpoints mismatch");
+  }
+  QPGC_RETURN_IF_ERROR(
+      GetU32Span(parsed, *mf_entry, &snap.decoded_, &snap.member_flat_));
+  if (validate) {
+    QPGC_RETURN_IF_ERROR(
+        ValidateCsr(snap.member_offsets_, snap.member_flat_, original_n));
+  } else {
+    uint64_t prev = 0;
+    for (size_t c = 1; c < snap.member_offsets_.size(); ++c) {
+      const uint64_t cur = snap.member_offsets_[c];
+      if (cur < prev || cur > snap.member_flat_.size()) {
+        return Status::CorruptData(path + ": member offsets not monotone");
+      }
+      prev = cur;
+    }
+  }
+
+  if (const SectionEntry* exits_entry =
+          parsed.Find(SectionKind::kBoundaryExits)) {
+    QPGC_RETURN_IF_ERROR(GetU32Span(parsed, *exits_entry, &snap.decoded_,
+                                    &snap.boundary_exits_));
+  }
+
+  return snap;
+}
+
+MatchResult MmapSnapshot::Match(const PatternQuery& q) const {
+  return ExpandMatchWith(
+      member_offsets_.size() - 1, pattern_map_,
+      [this](NodeId block) { return pattern_block_members(block); },
+      qpgc::Match(pattern_gr_, q));
+}
+
+bool MmapSnapshot::BooleanMatch(const PatternQuery& q) const {
+  return qpgc::BooleanMatch(pattern_gr_, q);
+}
+
+size_t MmapSnapshot::DecodedHeapBytes() const {
+  size_t bytes = 0;
+  for (const std::vector<NodeId>& v : decoded_) {
+    bytes += v.capacity() * sizeof(NodeId);
+  }
+  return bytes;
+}
+
+#undef QPGC_RETURN_IF_ERROR
+
+}  // namespace qpgc::storage

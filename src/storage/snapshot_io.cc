@@ -1,0 +1,767 @@
+// Copyright 2026 The QPGC Authors.
+
+#include "storage/snapshot_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "graph/builder.h"
+#include "graph/topology.h"
+#include "serve/boundary_summary.h"
+#include "storage/mmap_file.h"
+
+namespace qpgc::storage {
+namespace {
+
+#define QPGC_RETURN_IF_ERROR(expr)        \
+  do {                                    \
+    const Status _status = (expr);        \
+    if (!_status.ok()) return _status;    \
+  } while (0)
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+EncodedSection RawU32Section(std::span<const uint32_t> values) {
+  EncodedSection enc;
+  enc.encoding = SectionEncoding::kRaw32;
+  enc.element_count = values.size();
+  const auto* p = reinterpret_cast<const std::byte*>(values.data());
+  enc.bytes.assign(p, p + values.size_bytes());
+  return enc;
+}
+
+// Accumulates (kind, payload) pairs, then lays the file out.
+class ArtifactWriter {
+ public:
+  explicit ArtifactWriter(const SaveOptions& options) : options_(options) {}
+
+  void AddOffsets(SectionKind kind, std::span<const uint64_t> offsets) {
+    const SectionEncoding enc =
+        options_.index_encoding == IndexEncoding::kRaw64
+            ? SectionEncoding::kRaw64
+            : ChooseOffsetEncoding(offsets);
+    sections_.emplace_back(kind, EncodeOffsets(offsets, enc));
+  }
+
+  // Adjacency targets: varint gap runs when requested, raw u32 otherwise.
+  // Never kConstU32 — the mmap reader serves targets as in-place spans.
+  void AddTargets(SectionKind kind, std::span<const uint64_t> offsets,
+                  std::span<const NodeId> targets) {
+    if (options_.varint_adjacency) {
+      sections_.emplace_back(kind, EncodeVarintTargets(offsets, targets));
+    } else {
+      sections_.emplace_back(kind, RawU32Section(targets));
+    }
+  }
+
+  void AddLabels(SectionKind kind, std::span<const Label> labels) {
+    // Const-detected: the reach quotient's labels are uniformly kNoLabel.
+    sections_.emplace_back(kind, EncodeU32(labels));
+  }
+
+  void AddRawU32(SectionKind kind, std::span<const uint32_t> values) {
+    sections_.emplace_back(kind, RawU32Section(values));
+  }
+
+  Status WriteTo(const std::string& path, uint64_t snapshot_version,
+                 uint64_t original_num_nodes) const {
+    const uint64_t meta_bytes =
+        sizeof(FileHeader) + sections_.size() * sizeof(SectionEntry);
+    std::vector<SectionEntry> table(sections_.size());
+    uint64_t at = AlignUp(meta_bytes);
+    for (size_t i = 0; i < sections_.size(); ++i) {
+      const EncodedSection& enc = sections_[i].second;
+      SectionEntry& entry = table[i];
+      entry.kind = static_cast<uint32_t>(sections_[i].first);
+      entry.encoding = static_cast<uint32_t>(enc.encoding);
+      entry.offset = at;
+      entry.stored_bytes = enc.bytes.size();
+      entry.element_count = enc.element_count;
+      entry.checksum = Fnv1a64(enc.bytes);
+      at = AlignUp(at + entry.stored_bytes);
+    }
+
+    FileHeader header{};
+    std::memcpy(header.magic, kMagic, sizeof(kMagic));
+    header.format_version = kFormatVersion;
+    header.section_count = static_cast<uint32_t>(sections_.size());
+    header.snapshot_version = snapshot_version;
+    header.original_num_nodes = original_num_nodes;
+    header.shard = options_.shard;
+    header.num_shards = options_.num_shards;
+    header.file_bytes = at;
+    header.table_checksum = Fnv1a64(
+        {reinterpret_cast<const std::byte*>(table.data()),
+         table.size() * sizeof(SectionEntry)});
+    header.header_checksum = 0;
+    header.header_checksum = Fnv1a64(
+        {reinterpret_cast<const std::byte*>(&header), sizeof(header)});
+
+    // Assemble in memory (alignment padding zero-filled), one write call.
+    std::vector<std::byte> file(at, std::byte{0});
+    std::memcpy(file.data(), &header, sizeof(header));
+    std::memcpy(file.data() + sizeof(header), table.data(),
+                table.size() * sizeof(SectionEntry));
+    for (size_t i = 0; i < sections_.size(); ++i) {
+      const EncodedSection& enc = sections_[i].second;
+      std::memcpy(file.data() + table[i].offset, enc.bytes.data(),
+                  enc.bytes.size());
+    }
+
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open " + path + " for writing");
+    out.write(reinterpret_cast<const char*>(file.data()),
+              static_cast<std::streamsize>(file.size()));
+    out.flush();
+    if (!out) return Status::IoError("write failed: " + path);
+    return Status::Ok();
+  }
+
+ private:
+  const SaveOptions& options_;
+  std::vector<std::pair<SectionKind, EncodedSection>> sections_;
+};
+
+// ---------------------------------------------------------------------------
+// Reader helpers
+// ---------------------------------------------------------------------------
+
+std::string KindStr(SectionKind kind) {
+  return std::to_string(static_cast<uint32_t>(kind));
+}
+
+Status Require(const ParsedArtifact& parsed, SectionKind kind,
+               const SectionEntry** out) {
+  *out = parsed.Find(kind);
+  if (*out == nullptr) {
+    return Status::CorruptData("missing section kind " + KindStr(kind));
+  }
+  return Status::Ok();
+}
+
+Result<OffsetsView> MakeOffsetsView(const ParsedArtifact& parsed,
+                                    const SectionEntry& entry) {
+  return OffsetsView::Make(static_cast<SectionEncoding>(entry.encoding),
+                           parsed.SectionBytes(entry), entry.element_count);
+}
+
+// Decodes a u32 section (raw or const) to a heap vector; the caller has
+// already checked the expected element count.
+Status DecodeU32Vector(const ParsedArtifact& parsed, const SectionEntry& entry,
+                       std::vector<uint32_t>* out) {
+  Result<U32View> view = U32View::Make(
+      static_cast<SectionEncoding>(entry.encoding), parsed.SectionBytes(entry),
+      entry.element_count);
+  if (!view.ok()) return view.status();
+  if (view.value().is_const()) {
+    out->assign(view.value().size(), view.value().constant());
+  } else {
+    const std::span<const uint32_t> raw = view.value().raw_span();
+    out->assign(raw.begin(), raw.end());
+  }
+  return Status::Ok();
+}
+
+// One decoded CSR direction.
+struct DecodedCsr {
+  std::vector<uint64_t> offsets;
+  std::vector<NodeId> targets;
+  size_t n = 0;
+};
+
+Status DecodeCsr(const ParsedArtifact& parsed, SectionKind offsets_kind,
+                 SectionKind targets_kind, bool validate, DecodedCsr* out) {
+  const SectionEntry* off_entry = nullptr;
+  const SectionEntry* tgt_entry = nullptr;
+  QPGC_RETURN_IF_ERROR(Require(parsed, offsets_kind, &off_entry));
+  QPGC_RETURN_IF_ERROR(Require(parsed, targets_kind, &tgt_entry));
+  Result<OffsetsView> view = MakeOffsetsView(parsed, *off_entry);
+  if (!view.ok()) return view.status();
+  const OffsetsView& offsets = view.value();
+  if (offsets.size() == 0) {
+    return Status::CorruptData("empty offsets section kind " +
+                               KindStr(offsets_kind));
+  }
+  out->n = offsets.size() - 1;
+  // The O(1) endpoint invariants are always enforced — CsrGraph::AdoptCsr
+  // asserts them, and an assert is not an acceptable response to a file.
+  if (offsets[0] != 0 || offsets.back() != tgt_entry->element_count) {
+    return Status::CorruptData("offsets endpoints disagree with targets, kind " +
+                               KindStr(offsets_kind));
+  }
+  if (static_cast<SectionEncoding>(tgt_entry->encoding) ==
+      SectionEncoding::kVarint) {
+    QPGC_RETURN_IF_ERROR(DecodeVarintTargets(
+        parsed.SectionBytes(*tgt_entry), offsets, tgt_entry->element_count,
+        static_cast<NodeId>(out->n), &out->targets));
+  } else {
+    QPGC_RETURN_IF_ERROR(DecodeU32Vector(parsed, *tgt_entry, &out->targets));
+  }
+  if (validate) {
+    QPGC_RETURN_IF_ERROR(ValidateCsr(offsets, out->targets, out->n));
+  }
+  out->offsets.resize(offsets.size());
+  for (size_t i = 0; i < offsets.size(); ++i) out->offsets[i] = offsets[i];
+  return Status::Ok();
+}
+
+// Decodes a u32 section whose element count must equal `expected`.
+Status DecodeExpected(const ParsedArtifact& parsed, SectionKind kind,
+                      uint64_t expected, std::vector<uint32_t>* out) {
+  const SectionEntry* entry = nullptr;
+  QPGC_RETURN_IF_ERROR(Require(parsed, kind, &entry));
+  if (entry->element_count != expected) {
+    return Status::CorruptData("section kind " + KindStr(kind) +
+                               " has unexpected element count");
+  }
+  return DecodeU32Vector(parsed, *entry, out);
+}
+
+Status ValidateNodeMap(const std::vector<NodeId>& map, size_t num_blocks,
+                       bool allow_invalid, const char* what) {
+  for (const NodeId b : map) {
+    if (b >= num_blocks && !(allow_invalid && b == kInvalidNode)) {
+      return Status::CorruptData(std::string(what) + " out of range");
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateAscending(const std::vector<NodeId>& nodes, size_t num_nodes,
+                         const char* what) {
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i] >= num_nodes || (i > 0 && nodes[i] <= nodes[i - 1])) {
+      return Status::CorruptData(std::string(what) +
+                                 " not strictly ascending in range");
+    }
+  }
+  return Status::Ok();
+}
+
+// Everything LoadShardSet needs from one file beyond the snapshot itself.
+struct ArtifactData {
+  LoadedSnapshot loaded;
+  bool has_partition = false;
+  uint64_t partition_count = 0;
+  uint64_t partition_checksum = 0;
+  std::vector<uint32_t> shard_of;  // decoded only when requested
+};
+
+Status LoadArtifact(const std::string& path, const LoadOptions& options,
+                    bool want_partition, ArtifactData* out) {
+  Result<MmapFile> file = MmapFile::Open(path);
+  if (!file.ok()) return file.status();
+  Result<ParsedArtifact> parse =
+      ParseArtifact(file.value().bytes(), options.verify_checksums);
+  if (!parse.ok()) {
+    return Status(parse.status().code(),
+                  path + ": " + parse.status().message());
+  }
+  const ParsedArtifact& parsed = parse.value();
+  const FileHeader& header = parsed.header;
+  if (header.num_shards == 0 || header.shard >= header.num_shards) {
+    return Status::CorruptData(path + ": invalid shard stamp");
+  }
+  const uint64_t original_n = header.original_num_nodes;
+  const bool validate = options.validate_structure;
+
+  // --- Reach side ---------------------------------------------------------
+  auto reach = std::make_shared<FrozenReachSide>();
+  {
+    DecodedCsr csr;
+    QPGC_RETURN_IF_ERROR(DecodeCsr(parsed, SectionKind::kReachOutOffsets,
+                                   SectionKind::kReachOutTargets, validate,
+                                   &csr));
+    std::vector<Label> labels;
+    QPGC_RETURN_IF_ERROR(
+        DecodeExpected(parsed, SectionKind::kReachLabels, csr.n, &labels));
+    QPGC_RETURN_IF_ERROR(DecodeExpected(parsed, SectionKind::kReachNodeMap,
+                                        original_n, &reach->node_map));
+    if (validate) {
+      QPGC_RETURN_IF_ERROR(ValidateNodeMap(reach->node_map, csr.n,
+                                           /*allow_invalid=*/false,
+                                           "reach node map"));
+    }
+    // AdoptCsr derives the in-direction; the stored in-sections exist for
+    // the zero-copy mmap reader and are not decoded here.
+    reach->gr.AdoptCsr(std::move(csr.offsets), std::move(csr.targets),
+                       std::move(labels));
+  }
+
+  // --- Pattern side -------------------------------------------------------
+  auto pattern = std::make_shared<FrozenPatternSide>();
+  size_t pattern_blocks = 0;
+  {
+    DecodedCsr csr;
+    QPGC_RETURN_IF_ERROR(DecodeCsr(parsed, SectionKind::kPatternOutOffsets,
+                                   SectionKind::kPatternOutTargets, validate,
+                                   &csr));
+    pattern_blocks = csr.n;
+    std::vector<Label> labels;
+    QPGC_RETURN_IF_ERROR(
+        DecodeExpected(parsed, SectionKind::kPatternLabels, csr.n, &labels));
+    QPGC_RETURN_IF_ERROR(DecodeExpected(parsed, SectionKind::kPatternNodeMap,
+                                        original_n, &pattern->node_map));
+    if (validate) {
+      QPGC_RETURN_IF_ERROR(ValidateNodeMap(pattern->node_map, csr.n,
+                                           /*allow_invalid=*/true,
+                                           "pattern node map"));
+    }
+    pattern->gr.AdoptCsr(std::move(csr.offsets), std::move(csr.targets),
+                         std::move(labels));
+  }
+  {
+    const SectionEntry* mo_entry = nullptr;
+    const SectionEntry* mf_entry = nullptr;
+    QPGC_RETURN_IF_ERROR(
+        Require(parsed, SectionKind::kMemberOffsets, &mo_entry));
+    QPGC_RETURN_IF_ERROR(Require(parsed, SectionKind::kMemberFlat, &mf_entry));
+    if (mo_entry->element_count != pattern_blocks + 1) {
+      return Status::CorruptData(path + ": member offsets count mismatch");
+    }
+    Result<OffsetsView> mo_view = MakeOffsetsView(parsed, *mo_entry);
+    if (!mo_view.ok()) return mo_view.status();
+    if (mo_view.value()[0] != 0 ||
+        mo_view.value().back() != mf_entry->element_count) {
+      return Status::CorruptData(path + ": member index endpoints mismatch");
+    }
+    QPGC_RETURN_IF_ERROR(
+        DecodeU32Vector(parsed, *mf_entry, &pattern->member_flat));
+    if (validate) {
+      // Member runs are disjoint ascending node-id runs — the same
+      // structural shape as CSR adjacency over the original node universe.
+      QPGC_RETURN_IF_ERROR(
+          ValidateCsr(mo_view.value(), pattern->member_flat, original_n));
+    }
+    pattern->member_offsets.resize(mo_view.value().size());
+    for (size_t i = 0; i < mo_view.value().size(); ++i) {
+      pattern->member_offsets[i] = mo_view.value()[i];
+    }
+  }
+  {
+    std::vector<uint32_t> cross_flat;
+    const SectionEntry* ce_entry = nullptr;
+    QPGC_RETURN_IF_ERROR(Require(parsed, SectionKind::kCrossEdges, &ce_entry));
+    if (ce_entry->element_count % 2 != 0) {
+      return Status::CorruptData(path + ": odd cross-edge section");
+    }
+    QPGC_RETURN_IF_ERROR(DecodeU32Vector(parsed, *ce_entry, &cross_flat));
+    pattern->cross_edges.resize(cross_flat.size() / 2);
+    for (size_t i = 0; i < pattern->cross_edges.size(); ++i) {
+      const NodeId block = cross_flat[2 * i];
+      const NodeId ghost = cross_flat[2 * i + 1];
+      if (validate && (block >= pattern_blocks || ghost >= original_n)) {
+        return Status::CorruptData(path + ": cross edge out of range");
+      }
+      pattern->cross_edges[i] = {block, ghost};
+    }
+  }
+
+  // --- Boundary tables (sharded artifacts) --------------------------------
+  std::shared_ptr<const std::vector<NodeId>> exits;
+  std::shared_ptr<const FrozenBoundarySummary> summary;
+  if (const SectionEntry* entry = parsed.Find(SectionKind::kBoundaryExits)) {
+    auto exits_vec = std::make_shared<std::vector<NodeId>>();
+    QPGC_RETURN_IF_ERROR(DecodeU32Vector(parsed, *entry, exits_vec.get()));
+    QPGC_RETURN_IF_ERROR(
+        ValidateAscending(*exits_vec, original_n, "boundary exits"));
+    exits = std::move(exits_vec);
+  }
+  if (const SectionEntry* entry = parsed.Find(SectionKind::kBoundaryEntries)) {
+    auto entries_vec = std::make_shared<std::vector<NodeId>>();
+    QPGC_RETURN_IF_ERROR(DecodeU32Vector(parsed, *entry, entries_vec.get()));
+    QPGC_RETURN_IF_ERROR(
+        ValidateAscending(*entries_vec, original_n, "boundary entries"));
+    if (exits == nullptr) {
+      return Status::CorruptData(path + ": boundary entries without exits");
+    }
+    // The summary is deterministic in (reach side, exits, entries) — never
+    // stored, always rebuilt, so it cannot drift from the graph it
+    // summarizes.
+    auto built = std::make_shared<FrozenBoundarySummary>();
+    built->Build(reach->gr, reach->node_map, exits,
+                 std::shared_ptr<const std::vector<NodeId>>(entries_vec));
+    summary = std::move(built);
+  }
+
+  // --- Partition ----------------------------------------------------------
+  if (const SectionEntry* entry =
+          parsed.Find(SectionKind::kPartitionShardOf)) {
+    out->has_partition = true;
+    out->partition_count = entry->element_count;
+    out->partition_checksum = entry->checksum;
+    if (want_partition) {
+      if (entry->element_count != original_n) {
+        return Status::CorruptData(path + ": partition count mismatch");
+      }
+      QPGC_RETURN_IF_ERROR(DecodeU32Vector(parsed, *entry, &out->shard_of));
+      for (const uint32_t s : out->shard_of) {
+        if (s >= header.num_shards) {
+          return Status::CorruptData(path + ": partition shard out of range");
+        }
+      }
+    }
+  }
+
+  auto snap = std::make_shared<ServingSnapshot>();
+  snap->Adopt(header.snapshot_version, std::move(reach), std::move(pattern),
+              std::move(exits), std::move(summary));
+  out->loaded.snapshot = std::move(snap);
+  out->loaded.shard = header.shard;
+  out->loaded.num_shards = header.num_shards;
+  return Status::Ok();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+const SectionEntry* ParsedArtifact::Find(SectionKind kind) const {
+  for (const SectionEntry& entry : table) {
+    if (entry.kind == static_cast<uint32_t>(kind)) return &entry;
+  }
+  return nullptr;
+}
+
+Result<ParsedArtifact> ParseArtifact(std::span<const std::byte> bytes,
+                                     bool verify_payload_checksums) {
+  ParsedArtifact parsed;
+  if (bytes.size() < sizeof(FileHeader)) {
+    return Status::CorruptData("artifact shorter than its header");
+  }
+  std::memcpy(&parsed.header, bytes.data(), sizeof(FileHeader));
+  const FileHeader& header = parsed.header;
+  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::CorruptData("bad magic: not a qpgc snapshot artifact");
+  }
+  if (header.format_version != kFormatVersion) {
+    return Status::InvalidArgument(
+        "unsupported snapshot format version " +
+        std::to_string(header.format_version) + " (this reader speaks " +
+        std::to_string(kFormatVersion) + ")");
+  }
+  FileHeader unsigned_header = header;
+  unsigned_header.header_checksum = 0;
+  if (Fnv1a64({reinterpret_cast<const std::byte*>(&unsigned_header),
+               sizeof(unsigned_header)}) != header.header_checksum) {
+    return Status::CorruptData("header checksum mismatch");
+  }
+  if (header.file_bytes != bytes.size()) {
+    return Status::CorruptData("file length disagrees with header (truncated?)");
+  }
+  const uint64_t table_bytes =
+      uint64_t{header.section_count} * sizeof(SectionEntry);
+  if (sizeof(FileHeader) + table_bytes > bytes.size()) {
+    return Status::CorruptData("section table overruns file");
+  }
+  if (Fnv1a64(bytes.subspan(sizeof(FileHeader), table_bytes)) !=
+      header.table_checksum) {
+    return Status::CorruptData("section table checksum mismatch");
+  }
+  parsed.table = {
+      reinterpret_cast<const SectionEntry*>(bytes.data() + sizeof(FileHeader)),
+      header.section_count};
+  parsed.bytes = bytes;
+  for (const SectionEntry& entry : parsed.table) {
+    if (entry.offset % kSectionAlign != 0) {
+      return Status::CorruptData("misaligned section kind " +
+                                 std::to_string(entry.kind));
+    }
+    if (entry.offset < sizeof(FileHeader) + table_bytes ||
+        entry.offset > bytes.size() ||
+        entry.stored_bytes > bytes.size() - entry.offset) {
+      return Status::CorruptData("section kind " + std::to_string(entry.kind) +
+                                 " overruns file");
+    }
+    if (verify_payload_checksums &&
+        Fnv1a64(parsed.SectionBytes(entry)) != entry.checksum) {
+      return Status::CorruptData("payload checksum mismatch in section kind " +
+                                 std::to_string(entry.kind));
+    }
+  }
+  return parsed;
+}
+
+Status ValidateCsr(const OffsetsView& offsets, std::span<const NodeId> targets,
+                   size_t target_universe) {
+  if (offsets.size() == 0) {
+    return Status::CorruptData("empty offsets section");
+  }
+  if (offsets[0] != 0) return Status::CorruptData("offsets do not start at 0");
+  uint64_t prev = 0;
+  for (size_t u = 1; u < offsets.size(); ++u) {
+    const uint64_t cur = offsets[u];
+    if (cur < prev || cur > targets.size()) {
+      return Status::CorruptData("offsets not monotone within targets");
+    }
+    for (uint64_t e = prev; e < cur; ++e) {
+      if (targets[e] >= target_universe ||
+          (e > prev && targets[e] <= targets[e - 1])) {
+        return Status::CorruptData("adjacency run not strictly ascending in "
+                                   "range");
+      }
+    }
+    prev = cur;
+  }
+  if (prev != targets.size()) {
+    return Status::CorruptData("offsets do not cover the targets section");
+  }
+  return Status::Ok();
+}
+
+Status SaveSnapshot(const ServingSnapshot& snap, const std::string& path,
+                    const SaveOptions& options) {
+  const std::shared_ptr<const FrozenReachSide> reach = snap.reach_side();
+  const std::shared_ptr<const FrozenPatternSide> pattern = snap.pattern_side();
+  if (reach == nullptr || pattern == nullptr) {
+    return Status::InvalidArgument("cannot save an empty snapshot");
+  }
+  if (options.num_shards == 0 || options.shard >= options.num_shards) {
+    return Status::InvalidArgument("invalid shard stamp");
+  }
+  if (options.num_shards > 1) {
+    if (options.partition == nullptr) {
+      return Status::InvalidArgument("sharded save requires a partition");
+    }
+    if (options.partition->shard_of.size() != snap.original_num_nodes() ||
+        options.partition->num_shards != options.num_shards) {
+      return Status::InvalidArgument("partition disagrees with snapshot");
+    }
+  }
+
+  ArtifactWriter writer(options);
+  writer.AddOffsets(SectionKind::kReachOutOffsets, reach->gr.out_offsets());
+  writer.AddTargets(SectionKind::kReachOutTargets, reach->gr.out_offsets(),
+                    reach->gr.out_targets());
+  writer.AddOffsets(SectionKind::kReachInOffsets, reach->gr.in_offsets());
+  writer.AddTargets(SectionKind::kReachInTargets, reach->gr.in_offsets(),
+                    reach->gr.in_targets());
+  writer.AddLabels(SectionKind::kReachLabels, reach->gr.labels());
+  writer.AddRawU32(SectionKind::kReachNodeMap, reach->node_map);
+
+  writer.AddOffsets(SectionKind::kPatternOutOffsets,
+                    pattern->gr.out_offsets());
+  writer.AddTargets(SectionKind::kPatternOutTargets, pattern->gr.out_offsets(),
+                    pattern->gr.out_targets());
+  writer.AddOffsets(SectionKind::kPatternInOffsets, pattern->gr.in_offsets());
+  writer.AddTargets(SectionKind::kPatternInTargets, pattern->gr.in_offsets(),
+                    pattern->gr.in_targets());
+  writer.AddLabels(SectionKind::kPatternLabels, pattern->gr.labels());
+  writer.AddRawU32(SectionKind::kPatternNodeMap, pattern->node_map);
+  writer.AddOffsets(SectionKind::kMemberOffsets, pattern->member_offsets);
+  writer.AddRawU32(SectionKind::kMemberFlat, pattern->member_flat);
+  std::vector<uint32_t> cross_flat;
+  cross_flat.reserve(2 * pattern->cross_edges.size());
+  for (const auto& [block, ghost] : pattern->cross_edges) {
+    cross_flat.push_back(block);
+    cross_flat.push_back(ghost);
+  }
+  writer.AddRawU32(SectionKind::kCrossEdges, cross_flat);
+
+  if (snap.boundary_exits_ptr() != nullptr) {
+    writer.AddRawU32(SectionKind::kBoundaryExits, *snap.boundary_exits_ptr());
+  }
+  if (snap.boundary_summary() != nullptr) {
+    // Entries only; the summary body is rebuilt at load (deterministic in
+    // the reach side plus the boundary sets).
+    writer.AddRawU32(SectionKind::kBoundaryEntries,
+                     *snap.boundary_summary()->entries_ptr());
+  }
+  if (options.num_shards > 1) {
+    writer.AddRawU32(SectionKind::kPartitionShardOf,
+                     options.partition->shard_of);
+  }
+
+  return writer.WriteTo(path, snap.version(), snap.original_num_nodes());
+}
+
+Result<LoadedSnapshot> LoadServingSnapshot(const std::string& path,
+                                           const LoadOptions& options) {
+  ArtifactData data;
+  const Status status =
+      LoadArtifact(path, options, /*want_partition=*/false, &data);
+  if (!status.ok()) return status;
+  return std::move(data.loaded);
+}
+
+Result<LoadedShardSet> LoadShardSet(const std::vector<std::string>& paths,
+                                    const LoadOptions& options) {
+  if (paths.empty()) {
+    return Status::InvalidArgument("no shard artifacts given");
+  }
+  LoadedShardSet set;
+  uint32_t num_shards = 0;
+  size_t original_n = 0;
+  uint64_t partition_checksum = 0;
+  std::vector<uint32_t> shard_of;
+  for (size_t i = 0; i < paths.size(); ++i) {
+    ArtifactData data;
+    const Status status =
+        LoadArtifact(paths[i], options, /*want_partition=*/i == 0, &data);
+    if (!status.ok()) return status;
+    if (i == 0) {
+      num_shards = data.loaded.num_shards;
+      original_n = data.loaded.snapshot->original_num_nodes();
+      if (paths.size() != num_shards) {
+        return Status::InvalidArgument(
+            "artifact set declares " + std::to_string(num_shards) +
+            " shards but " + std::to_string(paths.size()) +
+            " files were given");
+      }
+      set.snapshots.assign(num_shards, nullptr);
+      if (num_shards > 1) {
+        if (!data.has_partition) {
+          return Status::CorruptData(paths[i] + ": missing partition section");
+        }
+        shard_of = std::move(data.shard_of);
+        partition_checksum = data.partition_checksum;
+      }
+    } else {
+      if (data.loaded.num_shards != num_shards ||
+          data.loaded.snapshot->original_num_nodes() != original_n) {
+        return Status::InvalidArgument(paths[i] +
+                                       ": inconsistent with the shard set");
+      }
+      // The partition sections must be byte-identical across the set; the
+      // table checksums compare them without a second O(|V|) decode.
+      if (!data.has_partition || data.partition_count != original_n ||
+          data.partition_checksum != partition_checksum) {
+        return Status::InvalidArgument(paths[i] +
+                                       ": partition disagrees with the set");
+      }
+    }
+    const uint32_t shard = data.loaded.shard;
+    if (set.snapshots[shard] != nullptr) {
+      return Status::InvalidArgument(paths[i] + ": duplicate shard " +
+                                     std::to_string(shard));
+    }
+    set.snapshots[shard] = std::move(data.loaded.snapshot);
+  }
+  auto partition = std::make_shared<ShardPartition>();
+  partition->num_shards = num_shards;
+  partition->shard_of = num_shards > 1 ? std::move(shard_of)
+                                       : std::vector<uint32_t>(original_n, 0);
+  set.partition = std::move(partition);
+  return set;
+}
+
+Result<ReconstructedArtifacts> ReconstructArtifacts(
+    const Graph& g, const ServingSnapshot& snap) {
+  if (snap.reach_side() == nullptr || snap.pattern_side() == nullptr) {
+    return Status::InvalidArgument("cannot adopt an empty snapshot");
+  }
+  if (!snap.boundary_exits().empty() || snap.boundary_summary() != nullptr ||
+      !snap.pattern_cross_edges().empty()) {
+    return Status::InvalidArgument(
+        "adoption requires an unsharded snapshot (per-shard artifacts route "
+        "through LoadShardSet + PinnedShards instead)");
+  }
+  const size_t n = g.num_nodes();
+  if (snap.original_num_nodes() != n) {
+    return Status::InvalidArgument("graph/snapshot node count mismatch");
+  }
+
+  ReconstructedArtifacts out;
+  ReachCompression& rc = out.rc;
+  const CsrGraph& reach_gr = snap.reach_gr();
+  const std::vector<NodeId>& reach_map = snap.reach_map();
+  const size_t nc = reach_gr.num_nodes();
+  rc.original_num_nodes = n;
+  rc.original_size = g.size();
+  rc.node_map = reach_map;
+  rc.members.assign(nc, {});
+  for (NodeId v = 0; v < n; ++v) {
+    if (reach_map[v] >= nc) {
+      return Status::InvalidArgument("reach node map out of range");
+    }
+    rc.members[reach_map[v]].push_back(v);
+  }
+  for (NodeId c = 0; c < nc; ++c) {
+    if (rc.members[c].empty()) {
+      return Status::InvalidArgument("empty reach class in snapshot");
+    }
+  }
+  {
+    GraphBuilder builder(nc);
+    reach_gr.ForEachEdge([&](NodeId u, NodeId v) { builder.AddEdge(u, v); });
+    rc.gr = builder.Build();
+  }
+  rc.cyclic.assign(nc, 0);
+  for (NodeId c = 0; c < nc; ++c) {
+    rc.cyclic[c] = rc.gr.HasEdge(c, c) ? 1 : 0;
+  }
+  // The frozen side carries only the *reduced* quotient; IncRCM additionally
+  // needs the edge-faithful unreduced quotient (reach/compress_r.h — frozen
+  // classes contribute their direct edges to the hybrid graph, which the
+  // reduction may have dropped). Rebuild it from the original graph, exactly
+  // mirroring CompressR's construction.
+  {
+    GraphBuilder builder(nc);
+    for (NodeId c = 0; c < nc; ++c) {
+      if (rc.cyclic[c]) builder.AddEdge(c, c);
+    }
+    bool acyclic_intra_edge = false;
+    g.ForEachEdge([&](NodeId u, NodeId v) {
+      const NodeId cu = reach_map[u];
+      const NodeId cv = reach_map[v];
+      if (cu != cv) {
+        builder.AddEdge(cu, cv);
+      } else if (!rc.cyclic[cu]) {
+        acyclic_intra_edge = true;
+      }
+    });
+    if (acyclic_intra_edge) {
+      return Status::InvalidArgument(
+          "intra-class edge in an acyclic class: snapshot was not built from "
+          "this graph");
+    }
+    rc.quotient = builder.Build();
+  }
+  rc.ranks = DagTopoRanks(rc.gr);
+
+  PatternCompression& pc = out.pc;
+  const CsrGraph& pattern_gr = snap.pattern_gr();
+  const std::vector<NodeId>& pattern_map = snap.pattern_map();
+  const size_t np = pattern_gr.num_nodes();
+  pc.original_num_nodes = n;
+  pc.original_size = g.size();
+  pc.node_map = pattern_map;
+  for (NodeId v = 0; v < n; ++v) {
+    if (pattern_map[v] >= np) {
+      return Status::InvalidArgument(
+          pattern_map[v] == kInvalidNode
+              ? "ghost node in an unsharded snapshot"
+              : "pattern node map out of range");
+    }
+    if (pattern_gr.label(pattern_map[v]) != g.label(v)) {
+      return Status::InvalidArgument(
+          "label mismatch: snapshot was not built from this graph");
+    }
+  }
+  pc.members.assign(np, {});
+  for (NodeId c = 0; c < np; ++c) {
+    const std::span<const NodeId> members = snap.pattern_block_members(c);
+    if (members.empty()) {
+      return Status::InvalidArgument("empty pattern block in snapshot");
+    }
+    pc.members[c].assign(members.begin(), members.end());
+  }
+  {
+    GraphBuilder builder(np);
+    for (NodeId c = 0; c < np; ++c) {
+      builder.SetLabel(c, pattern_gr.label(c));
+    }
+    pattern_gr.ForEachEdge([&](NodeId u, NodeId v) { builder.AddEdge(u, v); });
+    pc.gr = builder.Build();
+  }
+  return out;
+}
+
+#undef QPGC_RETURN_IF_ERROR
+
+}  // namespace qpgc::storage

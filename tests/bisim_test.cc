@@ -4,6 +4,7 @@
 
 #include "bisim/ranked_bisim.h"
 #include "bisim/signature_bisim.h"
+#include "gen/adversarial.h"
 #include "gen/random_models.h"
 #include "gen/uniform.h"
 
@@ -118,6 +119,23 @@ TEST_P(BisimAgreementTest, RankedMatchesSignature) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BisimAgreementTest,
                          ::testing::Range<uint64_t>(1, 21));
+
+TEST(BisimTest, RankedMatchesSignatureOnStructuredFamilies) {
+  // Deep, highly stratified shapes — many strata with tiny fixpoints, the
+  // regime the per-stratum splitter delegation actually exercises (random
+  // models collapse to few ranks).
+  std::vector<Graph> graphs;
+  graphs.push_back(LongChain(200, 3));
+  graphs.push_back(LayeredDag(30, 4, 3, 17));
+  graphs.push_back(Broom(60, 40));
+  graphs.push_back(DirectedGrid(12, 12));
+  graphs.push_back(CompleteBinaryTree(9));
+  for (size_t i = 0; i < graphs.size(); ++i) {
+    const Partition a = SignatureBisimulation(graphs[i]);
+    const Partition b = RankedBisimulation(graphs[i]);
+    EXPECT_TRUE(SamePartition(a, b)) << "family index " << i;
+  }
+}
 
 TEST(BisimTest, EmptyGraph) {
   Graph g(0);

@@ -13,8 +13,9 @@ can point it anywhere with the same src/-bench/-tests/ layout.
 Rules:
 
   [layering]      src/ modules form a DAG — util -> graph ->
-                  {reach, pattern, bisim, index} -> core -> inc -> serve,
-                  with gen a sibling consumer of graph. A module may
+                  {reach, pattern, bisim, index} -> core -> inc -> serve ->
+                  storage, with gen a sibling consumer of graph. A module
+                  may
                   directly include only itself and the modules listed in
                   ALLOWED_DEPS. In particular the batch layer (graph,
                   reach, pattern, bisim, core) must never include inc/ —
@@ -90,6 +91,8 @@ ALLOWED_DEPS = {
     "gen": {"graph", "util"},
     "inc": {"core", "bisim", "pattern", "reach", "graph", "util"},
     "serve": {"inc", "core", "bisim", "pattern", "reach", "graph", "util"},
+    "storage": {"serve", "inc", "core", "bisim", "pattern", "reach", "graph",
+                "util"},
 }
 
 # Serving read-path files: may hold only immutable frozen state, so the

@@ -9,6 +9,14 @@
 //   qpgc_tool compressb <edges> <labels> <out>    pattern compression
 //   qpgc_tool query     <artifact> <u> <v>        QR(u, v) from the artifact
 //   qpgc_tool info      <artifact>                artifact summary
+//   qpgc_tool save      <edges> [labels] <out>    compress + write a binary
+//                       snapshot artifact (storage/format.h). Flags:
+//                       --varint (varint adjacency for cold shards),
+//                       --index=auto|raw64 (CSR index encoding).
+//   qpgc_tool load      <snapshot>                open a snapshot artifact
+//                       and print its layout; times the mmap open against
+//                       the full deserialize (--mmap serves a probe query
+//                       off the mapping).
 //   qpgc_tool dataset   <name> <edges-out>        emit a catalog stand-in
 //   qpgc_tool serve-sim <edges> [labels]          serving simulation: reader
 //                       threads query versioned snapshots while a writer
@@ -17,6 +25,9 @@
 //                       Flags: --readers=N --duration=SECS --batch-size=N
 //                       --publish-every=N | --staleness-ms=MS
 //                       --zipf-s=S --hot-set=N --cache[=off|exact|full]
+//                       --mmap (post-stream A/B: save the final snapshot,
+//                       reopen it memory-mapped, and drive the same timed
+//                       read window off the mapping vs the in-RAM service)
 //
 // `serve-sim --zipf-s=S` switches the readers from uniform endpoints to a
 // Zipf(S) hot set of --hot-set pairs (serve/load_gen.h), the repetition
@@ -49,6 +60,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -70,6 +85,9 @@
 #include "serve/router.h"
 #include "serve/sharded_manager.h"
 #include "serve/snapshot_manager.h"
+#include "storage/format.h"
+#include "storage/mmap_snapshot.h"
+#include "storage/snapshot_io.h"
 #include "util/memory.h"
 #include "util/timer.h"
 
@@ -89,6 +107,9 @@ int Usage() {
                "                      <edges> <labels> <artifact-out>\n"
                "  qpgc_tool query     <artifact> <u> <v>\n"
                "  qpgc_tool info      <artifact>\n"
+               "  qpgc_tool save      [--varint] [--index=auto|raw64]\n"
+               "                      <edges> [labels] <snapshot-out>\n"
+               "  qpgc_tool load      [--mmap] <snapshot>\n"
                "  qpgc_tool dataset   <name> <edges-out>\n"
                "  qpgc_tool serve-sim <edges> [labels] [--shards=K] "
                "[--partitioner=...]\n"
@@ -96,7 +117,7 @@ int Usage() {
                "                      [--batch-size=N] [--publish-every=N | "
                "--staleness-ms=MS]\n"
                "                      [--zipf-s=S] [--hot-set=N] "
-               "[--cache[=off|exact|full]]\n");
+               "[--cache[=off|exact|full]] [--mmap]\n");
   return 2;
 }
 
@@ -275,6 +296,188 @@ int CmdInfo(const char* artifact) {
   return 1;
 }
 
+// --- save / load -----------------------------------------------------------
+
+int CmdSave(const std::vector<const char*>& args) {
+  storage::SaveOptions options;
+  std::vector<const char*> pos;
+  for (const char* arg : args) {
+    if (arg[0] == '-') {
+      if (std::strcmp(arg, "--varint") == 0) {
+        options.varint_adjacency = true;
+        continue;
+      }
+      if (std::strcmp(arg, "--index=auto") == 0) {
+        options.index_encoding = storage::IndexEncoding::kAuto;
+        continue;
+      }
+      if (std::strcmp(arg, "--index=raw64") == 0) {
+        options.index_encoding = storage::IndexEncoding::kRaw64;
+        continue;
+      }
+      std::fprintf(stderr, "save: unknown flag '%s'\n", arg);
+      return Usage();
+    }
+    pos.push_back(arg);
+  }
+  if (pos.size() != 2 && pos.size() != 3) return Usage();
+  auto loaded = LoadGraphArg(pos[0], pos.size() == 3 ? pos[1] : nullptr);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  Graph g = std::move(loaded).value();
+  Timer compress_timer;
+  SnapshotManager manager(std::move(g));
+  const auto snap = manager.Acquire();
+  const double compress_ms = compress_timer.ElapsedMillis();
+  Timer save_timer;
+  const Status saved = storage::SaveSnapshot(*snap, pos.back(), options);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+    return 1;
+  }
+  const double save_ms = save_timer.ElapsedMillis();
+  // Reopen through the trusted fast path: reports the exact artifact length
+  // and proves the file round-trips before we claim success.
+  auto reopened = storage::MmapSnapshot::Open(pos.back());
+  if (!reopened.ok()) {
+    std::fprintf(stderr, "save: artifact fails to reopen: %s\n",
+                 reopened.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "compressed in %.1fms (|Gr(reach)| = %zu, |Gr(pattern)| = %zu), "
+      "saved in %.1fms\n"
+      "snapshot artifact: %s (%s in RAM, index=%s%s)\n",
+      compress_ms, snap->reach_gr().size(), snap->pattern_gr().size(), save_ms,
+      FormatBytes(reopened.value().MappedBytes()).c_str(),
+      FormatBytes(snap->MemoryBytes()).c_str(),
+      options.index_encoding == storage::IndexEncoding::kRaw64 ? "raw64"
+                                                               : "auto",
+      options.varint_adjacency ? ", varint adjacency" : "");
+  std::printf("artifact written to %s\n", pos.back());
+  return 0;
+}
+
+const char* SectionKindName(uint32_t kind) {
+  switch (static_cast<storage::SectionKind>(kind)) {
+    case storage::SectionKind::kReachOutOffsets: return "reach.out.offsets";
+    case storage::SectionKind::kReachOutTargets: return "reach.out.targets";
+    case storage::SectionKind::kReachInOffsets: return "reach.in.offsets";
+    case storage::SectionKind::kReachInTargets: return "reach.in.targets";
+    case storage::SectionKind::kReachLabels: return "reach.labels";
+    case storage::SectionKind::kReachNodeMap: return "reach.node_map";
+    case storage::SectionKind::kPatternOutOffsets: return "pattern.out.offsets";
+    case storage::SectionKind::kPatternOutTargets: return "pattern.out.targets";
+    case storage::SectionKind::kPatternInOffsets: return "pattern.in.offsets";
+    case storage::SectionKind::kPatternInTargets: return "pattern.in.targets";
+    case storage::SectionKind::kPatternLabels: return "pattern.labels";
+    case storage::SectionKind::kPatternNodeMap: return "pattern.node_map";
+    case storage::SectionKind::kMemberOffsets: return "member.offsets";
+    case storage::SectionKind::kMemberFlat: return "member.flat";
+    case storage::SectionKind::kCrossEdges: return "cross_edges";
+    case storage::SectionKind::kBoundaryExits: return "boundary.exits";
+    case storage::SectionKind::kBoundaryEntries: return "boundary.entries";
+    case storage::SectionKind::kPartitionShardOf: return "partition.shard_of";
+  }
+  return "unknown";
+}
+
+const char* SectionEncodingName(uint32_t encoding) {
+  switch (static_cast<storage::SectionEncoding>(encoding)) {
+    case storage::SectionEncoding::kRaw64: return "raw64";
+    case storage::SectionEncoding::kRaw32: return "raw32";
+    case storage::SectionEncoding::kDelta16: return "delta16";
+    case storage::SectionEncoding::kVarint: return "varint";
+    case storage::SectionEncoding::kConstU32: return "const";
+  }
+  return "unknown";
+}
+
+int CmdLoad(const std::vector<const char*>& args) {
+  bool mmap_probe = false;
+  const char* path = nullptr;
+  for (const char* arg : args) {
+    if (std::strcmp(arg, "--mmap") == 0) {
+      mmap_probe = true;
+      continue;
+    }
+    if (arg[0] == '-' || path != nullptr) {
+      std::fprintf(stderr, "load: unknown argument '%s'\n", arg);
+      return Usage();
+    }
+    path = arg;
+  }
+  if (path == nullptr) return Usage();
+
+  Timer mmap_timer;
+  auto mapped = storage::MmapSnapshot::Open(path);
+  if (!mapped.ok()) {
+    std::fprintf(stderr, "%s\n", mapped.status().ToString().c_str());
+    return 1;
+  }
+  const double mmap_ms = mmap_timer.ElapsedMillis();
+  const storage::MmapSnapshot snap = std::move(mapped).value();
+
+  std::printf(
+      "snapshot artifact %s: format v%u, snapshot version %llu\n"
+      "original |V| = %zu, shard %u of %u, |Gr(reach)| = %zu, "
+      "|Gr(pattern)| = %zu\n",
+      path, storage::kFormatVersion,
+      static_cast<unsigned long long>(snap.version()),
+      snap.original_num_nodes(), snap.shard(), snap.num_shards(),
+      snap.reach_gr().size(), snap.pattern_gr().size());
+
+  // Section table: layout, per-section encoding, and stored footprint.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::vector<char> raw((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+    auto parsed = storage::ParseArtifact(
+        {reinterpret_cast<const std::byte*>(raw.data()), raw.size()},
+        /*verify_payload_checksums=*/false);
+    if (parsed.ok()) {
+      std::printf("%-20s %-8s %10s %12s %10s\n", "section", "encoding",
+                  "elements", "stored", "offset");
+      for (const storage::SectionEntry& entry : parsed.value().table) {
+        std::printf("%-20s %-8s %10llu %12s %10llu\n",
+                    SectionKindName(entry.kind),
+                    SectionEncodingName(entry.encoding),
+                    static_cast<unsigned long long>(entry.element_count),
+                    FormatBytes(entry.stored_bytes).c_str(),
+                    static_cast<unsigned long long>(entry.offset));
+      }
+    }
+  }
+
+  Timer full_timer;
+  auto full = storage::LoadServingSnapshot(path);
+  if (!full.ok()) {
+    std::fprintf(stderr, "%s\n", full.status().ToString().c_str());
+    return 1;
+  }
+  const double full_ms = full_timer.ElapsedMillis();
+  std::printf(
+      "mmap open: %.2fms (%s mapped, %s decoded to heap)\n"
+      "full deserialize (verified): %.2fms (%s in RAM) — mmap is %.1fx "
+      "faster to first byte\n",
+      mmap_ms, FormatBytes(snap.MappedBytes()).c_str(),
+      FormatBytes(snap.DecodedHeapBytes()).c_str(), full_ms,
+      FormatBytes(full.value().snapshot->MemoryBytes()).c_str(),
+      mmap_ms > 0 ? full_ms / mmap_ms : 0.0);
+
+  if (mmap_probe && snap.original_num_nodes() > 0) {
+    const NodeId u = 0;
+    const NodeId v = static_cast<NodeId>(snap.original_num_nodes() - 1);
+    Timer probe_timer;
+    const bool answer = snap.Reach(u, v);
+    std::printf("probe off the mapping: QR(%u, %u) = %s (%.0fus cold)\n", u, v,
+                answer ? "true" : "false", probe_timer.ElapsedMillis() * 1e3);
+  }
+  return 0;
+}
+
 // --- serve-sim -------------------------------------------------------------
 
 enum class CacheMode { kOff, kExact, kFull };
@@ -293,7 +496,16 @@ struct ServeSimOptions {
   double zipf_s = -1.0;
   size_t hot_set = 1024;
   CacheMode cache = CacheMode::kOff;
+  bool mmap_ab = false;
   PartitionerKind partitioner = PartitionerKind::kHash;
+};
+
+// Adapts an opened MmapSnapshot to the Pin() service concept RunTimedLoad
+// drives (serve/load_gen.h): pinning is a no-op — the artifact is one
+// immutable version.
+struct MmapService {
+  std::shared_ptr<const storage::MmapSnapshot> snap;
+  std::shared_ptr<const storage::MmapSnapshot> Pin() const { return snap; }
 };
 
 bool ParseSizeFlag(const char* arg, const char* name, size_t* out) {
@@ -366,6 +578,10 @@ int CmdServeSim(const std::vector<const char*>& args) {
       }
       if (std::strcmp(arg, "--cache=off") == 0) {
         opts.cache = CacheMode::kOff;
+        continue;
+      }
+      if (std::strcmp(arg, "--mmap") == 0) {
+        opts.mmap_ab = true;
         continue;
       }
       constexpr const char kPartitionerFlag[] = "--partitioner=";
@@ -519,6 +735,11 @@ int CmdServeSim(const std::vector<const char*>& args) {
       RunCacheComparison(service, cached, workload,
                          std::min(opts.duration_secs, 1.0), opts.readers);
     }
+    if (opts.mmap_ab) {
+      std::fprintf(stderr,
+                   "serve-sim: --mmap A/B runs unsharded only (use "
+                   "bench_storage for per-shard artifacts)\n");
+    }
     return 0;
   }
 
@@ -583,6 +804,46 @@ int CmdServeSim(const std::vector<const char*>& args) {
     const CachedQueryService cached(manager, cache_options);
     RunCacheComparison(service, cached, workload,
                        std::min(opts.duration_secs, 1.0), opts.readers);
+  }
+  if (opts.mmap_ab) {
+    // Post-stream out-of-core A/B: persist the final version, reopen it
+    // memory-mapped, and drive the identical timed read window off the
+    // mapping vs the in-RAM service.
+    const std::string snap_path =
+        (std::filesystem::temp_directory_path() / "qpgc_serve_sim.snap")
+            .string();
+    const Status saved = storage::SaveSnapshot(*final_snap, snap_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+      return 1;
+    }
+    Timer open_timer;
+    auto mapped = storage::MmapSnapshot::Open(snap_path);
+    if (!mapped.ok()) {
+      std::fprintf(stderr, "%s\n", mapped.status().ToString().c_str());
+      return 1;
+    }
+    const double open_ms = open_timer.ElapsedMillis();
+    const MmapService mmap_service{std::make_shared<const storage::MmapSnapshot>(
+        std::move(mapped).value())};
+    const double window = std::min(opts.duration_secs, 1.0);
+    const double ram_qps =
+        RunTimedLoad(service, /*patterns=*/{}, workload, window,
+                     static_cast<int>(opts.readers))
+            .reach_qps();
+    const double mmap_qps =
+        RunTimedLoad(mmap_service, /*patterns=*/{}, workload, window,
+                     static_cast<int>(opts.readers))
+            .reach_qps();
+    std::printf(
+        "mmap A/B: %.0f reach/s in-RAM, %.0f reach/s off the mapping "
+        "(%.2fx) over %.2fs windows\n"
+        "          artifact %s (%s), opened in %.2fms (%s decoded to heap)\n",
+        ram_qps, mmap_qps, ram_qps > 0 ? mmap_qps / ram_qps : 0.0, window,
+        snap_path.c_str(),
+        FormatBytes(mmap_service.snap->MappedBytes()).c_str(), open_ms,
+        FormatBytes(mmap_service.snap->DecodedHeapBytes()).c_str());
+    std::remove(snap_path.c_str());
   }
   return 0;
 }
@@ -669,6 +930,12 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(cmd, "info") == 0 && argn == 2) {
     return CmdInfo(args[1]);
+  }
+  if (std::strcmp(cmd, "save") == 0 && argn >= 3) {
+    return CmdSave(std::vector<const char*>(args.begin() + 1, args.end()));
+  }
+  if (std::strcmp(cmd, "load") == 0 && argn >= 2) {
+    return CmdLoad(std::vector<const char*>(args.begin() + 1, args.end()));
   }
   if (std::strcmp(cmd, "dataset") == 0 && argn == 3) {
     return CmdDataset(args[1], args[2]);
